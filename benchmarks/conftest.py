@@ -1,0 +1,47 @@
+"""Shared configuration for the paper-reproduction benchmark suite.
+
+Every benchmark runs one experiment module (one paper table or figure) at the
+``ci`` scale through ``pytest-benchmark`` and writes the regenerated
+rows/series to ``benchmarks/results/`` as both JSON and readable text, so the
+numbers behind each figure can be inspected after a run.
+
+Set the environment variable ``MANI_RANK_BENCH_SCALE=paper`` to run the
+full-size configurations instead (slow without a commercial ILP solver; see
+DESIGN.md and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import ExperimentResult
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Scale preset used by every benchmark (``ci`` unless overridden)."""
+    return os.environ.get("MANI_RANK_BENCH_SCALE", "ci")
+
+
+@pytest.fixture(scope="session")
+def results_directory() -> Path:
+    """Directory collecting the regenerated tables/figures."""
+    RESULTS_DIRECTORY.mkdir(exist_ok=True)
+    return RESULTS_DIRECTORY
+
+
+@pytest.fixture
+def save_result(results_directory):
+    """Persist an experiment result as JSON + text next to the benchmarks."""
+
+    def _save(result: ExperimentResult) -> None:
+        result.save(results_directory / f"{result.experiment}.json")
+        text_path = results_directory / f"{result.experiment}.txt"
+        text_path.write_text(result.to_text() + "\n")
+
+    return _save

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 3 (constraint-formulation comparison)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3
+
+
+def test_figure3_constraint_variants(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        figure3.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+    delta = result.parameters["delta"]
+
+    # Paper shape (Figure 3): the full MANI-Rank formulation is the only one
+    # keeping every fairness entity at or below delta on every theta.
+    for record in result.filtered(approach="MANI-Rank"):
+        assert record["ARP Gender"] <= delta + 1e-6
+        assert record["ARP Race"] <= delta + 1e-6
+        assert record["IRP"] <= delta + 1e-6
+
+    # Attributes-only keeps the attributes fair but leaves the intersection
+    # above the threshold somewhere in the sweep.
+    attributes_only = result.filtered(approach="Attributes only")
+    assert all(r["ARP Gender"] <= delta + 1e-6 for r in attributes_only)
+    assert all(r["ARP Race"] <= delta + 1e-6 for r in attributes_only)
+    assert any(r["IRP"] > delta for r in attributes_only)
+
+    # Intersection-only keeps the intersection fair but leaves some attribute
+    # above the threshold somewhere in the sweep.
+    intersection_only = result.filtered(approach="Intersection only")
+    assert all(r["IRP"] <= delta + 1e-6 for r in intersection_only)
+    assert any(
+        r["ARP Gender"] > delta or r["ARP Race"] > delta for r in intersection_only
+    )
+
+    # Fairness-unaware Kemeny violates the threshold.
+    assert any(
+        max(r["ARP Gender"], r["ARP Race"], r["IRP"]) > delta
+        for r in result.filtered(approach="Kemeny (unaware)")
+    )

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 5 (Price of Fairness analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure5
+
+
+def test_figure5_price_of_fairness(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        figure5.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+
+    # Left panel: Fair-Kemeny PoF is non-negative everywhere, and the less
+    # fair the modal ranking, the higher the average price (Low >= Medium).
+    theta_rows = result.filtered(panel="theta-sweep")
+    assert theta_rows
+    assert all(record["PoF"] >= -1e-9 for record in theta_rows)
+    mean_pof = {}
+    for dataset in {record["dataset"] for record in theta_rows}:
+        values = [r["PoF"] for r in theta_rows if r["dataset"] == dataset]
+        mean_pof[dataset] = float(np.mean(values))
+    if "Low-Fair" in mean_pof and "Medium-Fair" in mean_pof:
+        assert mean_pof["Low-Fair"] >= mean_pof["Medium-Fair"] - 0.02
+    if "High-Fair" in mean_pof:
+        assert mean_pof["Low-Fair"] >= mean_pof["High-Fair"] - 0.02
+
+    # Right panel: for every method the PoF decreases (weakly) as delta loosens.
+    delta_rows = result.filtered(panel="delta-sweep")
+    deltas = sorted({record["delta"] for record in delta_rows})
+    for method in {record["method"] for record in delta_rows}:
+        series = {
+            record["delta"]: record["PoF"]
+            for record in delta_rows
+            if record["method"] == method
+        }
+        assert series[max(deltas)] <= series[min(deltas)] + 0.02

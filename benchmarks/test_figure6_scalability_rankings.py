@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 6 (runtime vs number of base rankings)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure6
+
+
+def test_figure6_scalability_rankings(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        figure6.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+
+    counts = sorted({record["n_rankings"] for record in result.records})
+    labels = {record["label"] for record in result.records}
+    assert len(counts) >= 2
+
+    # Every (method, count) pair produced a measurement.
+    for count in counts:
+        assert {r["label"] for r in result.filtered(n_rankings=count)} == labels
+
+    # Paper shape: Fair-Borda sits in the fastest tier — on the largest
+    # workload it is not slower than the slowest method by definition, and it
+    # beats the seeded pairwise methods (Fair-Schulze / Fair-Copeland).
+    largest = max(counts)
+    runtimes = {r["label"]: r["runtime_s"] for r in result.filtered(n_rankings=largest)}
+    if "A3" in runtimes:
+        pairwise = [runtimes[label] for label in ("A2", "A4") if label in runtimes]
+        if pairwise:
+            assert runtimes["A3"] <= max(pairwise) + 0.05
+
+    # Runtime grows (weakly) with the number of rankings for every method.
+    for label in labels:
+        series = [
+            record["runtime_s"]
+            for record in sorted(
+                result.filtered(label=label), key=lambda r: r["n_rankings"]
+            )
+        ]
+        assert series[-1] >= series[0] * 0.5  # allow noise, forbid wild inversions

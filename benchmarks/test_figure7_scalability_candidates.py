@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 7 (runtime vs number of candidates, per Δ)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure7
+
+
+def test_figure7_scalability_candidates(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        figure7.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+
+    counts = sorted({record["n_candidates"] for record in result.records})
+    deltas = sorted({record["delta"] for record in result.records})
+    assert len(counts) >= 2
+    assert len(deltas) == 2
+
+    # Runtime grows with the candidate count for every method at the tight delta.
+    for label in {record["label"] for record in result.records}:
+        series = [
+            record["runtime_s"]
+            for record in sorted(
+                result.filtered(label=label, delta=min(deltas)),
+                key=lambda r: r["n_candidates"],
+            )
+        ]
+        assert series[-1] >= series[0] * 0.5
+
+    # Paper shape: the looser delta is never substantially slower overall
+    # (Make-MR-Fair needs fewer swaps when the requirement is loose).
+    tight_total = float(
+        np.sum([r["runtime_s"] for r in result.filtered(delta=min(deltas))])
+    )
+    loose_total = float(
+        np.sum([r["runtime_s"] for r in result.filtered(delta=max(deltas))])
+    )
+    assert loose_total <= tight_total * 1.25

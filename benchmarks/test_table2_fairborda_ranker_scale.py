@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table II (Fair-Borda runtime vs |R|)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2_fairborda_ranker_scale(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        table2.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+
+    rows = sorted(result.records, key=lambda record: record["n_rankings"])
+    assert len(rows) >= 2
+    assert all(record["runtime_s"] > 0 for record in rows)
+
+    # Paper shape (Table II): runtime grows mildly with |R| — the largest tier
+    # costs more than the smallest, but far less than proportionally (the
+    # per-candidate correction dominates).
+    smallest, largest = rows[0], rows[-1]
+    ranking_ratio = largest["n_rankings"] / smallest["n_rankings"]
+    runtime_ratio = largest["runtime_s"] / smallest["runtime_s"]
+    assert runtime_ratio < ranking_ratio * 1.5

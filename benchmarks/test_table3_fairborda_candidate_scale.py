@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table III (Fair-Borda runtime vs |X| at Δ = 0.33)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+
+
+def test_table3_fairborda_candidate_scale(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        table3.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+
+    rows = sorted(result.records, key=lambda record: record["n_candidates"])
+    assert len(rows) >= 2
+    assert all(record["runtime_s"] > 0 for record in rows)
+
+    # Paper shape (Table III): runtime increases with the candidate count and
+    # grows faster than linearly once the Make-MR-Fair correction dominates.
+    runtimes = [record["runtime_s"] for record in rows]
+    assert runtimes[-1] > runtimes[0]

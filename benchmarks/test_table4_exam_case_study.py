@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table IV (student merit-scholarship case study)."""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def test_table4_exam_case_study(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        table4.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+    delta = result.parameters["delta"]
+
+    base = [r for r in result.records if r["ranking"] in ("Math", "Reading", "Writing")]
+    kemeny = next(r for r in result.records if r["ranking"] == "Kemeny")
+    fair = [r for r in result.records if r["ranking"].startswith("Fair-")]
+    assert len(base) == 3
+    assert fair
+
+    # Paper shape: base rankings and Kemeny are far from parity (Lunch is the
+    # dominant bias; NatHawaii disadvantaged; IRP large).
+    for record in base:
+        assert record["Lunch"] > 0.15
+        assert record["IRP"] > 0.3
+        assert record["Race=NatHawaii"] < 0.45
+    assert kemeny["Lunch"] > 0.15
+    assert kemeny["IRP"] > 0.3
+
+    # Every fair method removes the bias: all ARPs and IRP at or below delta,
+    # and every group's FPR close to the 0.5 parity target.
+    for record in fair:
+        assert record["Gender"] <= delta + 1e-6
+        assert record["Race"] <= delta + 1e-6
+        assert record["Lunch"] <= delta + 1e-6
+        assert record["IRP"] <= delta + 1e-6
+        assert abs(record["Lunch=SubLunch"] - 0.5) <= delta
+        assert abs(record["Race=NatHawaii"] - 0.5) <= delta + 0.05

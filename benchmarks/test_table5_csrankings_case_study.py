@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table V (CSRankings 20-year consensus case study)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import table5
+
+
+def test_table5_csrankings_case_study(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        table5.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_result(result)
+    delta = result.parameters["delta"]
+
+    yearly = [r for r in result.records if r["ranking"].isdigit()]
+    kemeny = next(r for r in result.records if r["ranking"] == "Kemeny")
+    fair = [r for r in result.records if r["ranking"].startswith("Fair-")]
+    assert len(yearly) >= 5
+    assert fair
+
+    # Paper shape: yearly rankings favour Northeast over South and Private
+    # over Public; the Kemeny consensus keeps (or amplifies) that bias.
+    for record in yearly:
+        assert record["Location=Northeast"] > record["Location=South"]
+    mean_location_arp = float(np.mean([record["Location"] for record in yearly]))
+    assert mean_location_arp > 0.2
+    assert kemeny["Location"] >= mean_location_arp - 0.1
+    assert kemeny["Location=Northeast"] > kemeny["Location=South"]
+
+    # The fair methods remove the bias.
+    for record in fair:
+        assert record["Location"] <= delta + 1e-6
+        assert record["Type"] <= delta + 1e-6
+        assert record["IRP"] <= delta + 1e-6

@@ -1,0 +1,89 @@
+"""The paper's running example: an admissions committee ranking 45 candidates.
+
+Figure 1 of the paper shows four committee members ranking 45 scholarship
+candidates with Gender (Man / Non-binary / Woman) and Race (5 groups); one
+ranking (r4) is heavily biased, one (r3) is comparatively even.  Figure 2 then
+contrasts the plain Kemeny consensus (which inherits the bias) with the
+MANI-Rank consensus at Δ = 0.1.
+
+This example recreates that scenario with a synthetic committee: four base
+rankings with different bias strengths are sampled, the fairness-unaware
+Kemeny consensus and a Fair-Copeland consensus (Δ = 0.1) are generated, and
+the ARP/IRP comparison of Figure 2 is printed.
+
+Run with::
+
+    python examples/admissions_committee.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CandidateTable, RankingSet
+from repro.datagen import biased_modal_ranking, proportional_candidate_table
+from repro.fair import FairCopelandAggregator, UnawareKemenyBaseline
+from repro.fairness import FairnessTable, parity_scores, pd_loss
+
+#: Bias strength of each committee member's ranking (r3 is the fairest,
+#: r4 the most biased, mirroring the narrative of the paper's Figure 1).
+COMMITTEE_BIASES = {
+    "r1": {"Gender": 2.2, "Race": 1.6},
+    "r2": {"Gender": 1.8, "Race": 2.0},
+    "r3": {"Gender": 0.3, "Race": 0.3},
+    "r4": {"Gender": 4.5, "Race": 3.5},
+}
+
+
+def build_committee(seed: int = 7) -> tuple[CandidateTable, RankingSet]:
+    """Build the 45-candidate table and the four committee rankings."""
+    rng = np.random.default_rng(seed)
+    table = proportional_candidate_table(
+        45,
+        {
+            "Gender": ("Man", "Non-binary", "Woman"),
+            "Race": ("AlaskaNat", "Asian", "Black", "NatHawaii", "White"),
+        },
+        rng=rng,
+    )
+    rankings = [
+        biased_modal_ranking(table, biases, rng=rng)
+        for biases in COMMITTEE_BIASES.values()
+    ]
+    return table, RankingSet(rankings, labels=list(COMMITTEE_BIASES))
+
+
+def main() -> None:
+    delta = 0.1
+    table, committee = build_committee()
+
+    kemeny = UnawareKemenyBaseline().aggregate(committee, table, delta)
+    fair = FairCopelandAggregator().aggregate(committee, table, delta)
+
+    print("Base rankings and consensus rankings (Figure 1 / Figure 2 scenario)")
+    print()
+    rows = list(zip(committee.labels, committee))
+    rows.append(("Kemeny consensus", kemeny))
+    rows.append(("MANI-Rank consensus", fair))
+    print(FairnessTable.from_rankings(table, rows).to_text())
+    print()
+
+    print("Figure 2 comparison (Kemeny vs MANI-Rank consensus):")
+    kemeny_parity = parity_scores(kemeny, table)
+    fair_parity = parity_scores(fair, table)
+    for entity in table.all_fairness_entities():
+        label = "IRP" if entity == table.INTERSECTION else f"ARP {entity}"
+        print(
+            f"  {label:<12} Kemeny {kemeny_parity[entity]:.2f}   "
+            f"MANI-Rank {fair_parity[entity]:.2f}"
+        )
+    print()
+    print(
+        f"PD loss: Kemeny {pd_loss(committee, kemeny):.3f}, "
+        f"MANI-Rank {pd_loss(committee, fair):.3f} "
+        "(the price paid for removing the committee's bias)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""CSRankings 20-year consensus (the paper's appendix, Table V).
+
+Group fairness is not only about people: the appendix of the paper aggregates
+21 yearly rankings of 65 computer-science departments and shows the consensus
+inherits (and amplifies) a persistent Northeast / Private advantage.  This
+example rebuilds that study on the synthetic CSRankings dataset, compares the
+Kemeny consensus with Fair-Copeland at Δ = 0.05, and lists the departments
+whose positions change the most when the bias is removed.
+
+Run with::
+
+    python examples/csrankings_consensus.py
+"""
+
+from __future__ import annotations
+
+from repro.datagen import generate_csrankings_dataset
+from repro.fair import FairCopelandAggregator, UnawareKemenyBaseline
+from repro.fairness import FairnessTable, parity_scores, pd_loss
+
+
+def main() -> None:
+    delta = 0.05
+    dataset = generate_csrankings_dataset(n_departments=65, seed=41)
+    table, rankings = dataset.table, dataset.rankings
+
+    kemeny = UnawareKemenyBaseline().aggregate(rankings, table, delta)
+    fair = FairCopelandAggregator().aggregate(rankings, table, delta)
+
+    # Show a handful of representative years plus the two consensus rankings.
+    sample_years = [label for label in rankings.labels if label in {"2000", "2010", "2020"}]
+    rows = [
+        (label, rankings[rankings.labels.index(label)]) for label in sample_years
+    ] + [("Kemeny", kemeny), ("Fair-Copeland", fair)]
+    print("Per-group FPR, ARP and IRP (Table V layout, selected years):\n")
+    print(FairnessTable.from_rankings(table, rows).to_text())
+    print()
+
+    print("Fairness of the 20-year consensus:")
+    for name, ranking in [("Kemeny", kemeny), ("Fair-Copeland", fair)]:
+        parity = parity_scores(ranking, table)
+        print(
+            f"  {name:<14} Location ARP {parity['Location']:.3f}   "
+            f"Type ARP {parity['Type']:.3f}   IRP {parity[table.INTERSECTION]:.3f}   "
+            f"PD loss {pd_loss(rankings, ranking):.3f}"
+        )
+    print()
+
+    movers = sorted(
+        table.candidate_ids,
+        key=lambda dept: abs(kemeny.position_of(dept) - fair.position_of(dept)),
+        reverse=True,
+    )[:5]
+    print("Departments moving the most when the consensus is de-biased:")
+    for dept in movers:
+        print(
+            f"  {table.name_of(dept):<9} "
+            f"({table.value_of(dept, 'Location')}, {table.value_of(dept, 'Type')}): "
+            f"position {kemeny.position_of(dept) + 1} -> {fair.position_of(dept) + 1}"
+        )
+
+
+if __name__ == "__main__":
+    main()

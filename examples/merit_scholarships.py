@@ -1,0 +1,85 @@
+"""Merit-scholarship case study (the paper's Table IV) on the exam dataset.
+
+Three exam subjects (math, reading, writing) each rank 200 students; the
+consensus over the three rankings decides who receives merit scholarships.
+The example shows how the biases of the score-based rankings (subsidised-lunch
+students and NatHawaii students ranked low) carry into the Kemeny consensus
+and how the MFCR methods remove them at Δ = 0.05, then translates the
+consensus into a concrete outcome: the share of the top-25% scholarship band
+that each group receives.
+
+Run with::
+
+    python examples/merit_scholarships.py
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.datagen import generate_exam_dataset
+from repro.fair import FairBordaAggregator, FairSchulzeAggregator, UnawareKemenyBaseline
+from repro.fairness import FairnessTable
+
+
+def scholarship_shares(
+    ranking: Ranking, table: CandidateTable, attribute: str, top_fraction: float = 0.25
+) -> dict[str, float]:
+    """Fraction of the top ``top_fraction`` of the ranking held by each group."""
+    cutoff = max(1, int(round(top_fraction * table.n_candidates)))
+    winners = set(ranking.top(cutoff).tolist())
+    shares: dict[str, float] = {}
+    for group in table.groups(attribute):
+        in_top = sum(1 for member in group.members if member in winners)
+        shares[str(group.value)] = in_top / group.size
+    return shares
+
+
+def main() -> None:
+    delta = 0.05
+    dataset = generate_exam_dataset(n_students=200, seed=2022)
+    table, rankings = dataset.table, dataset.rankings
+
+    kemeny = UnawareKemenyBaseline().aggregate(rankings, table, delta)
+    fair_schulze = FairSchulzeAggregator().aggregate(rankings, table, delta)
+    fair_borda = FairBordaAggregator().aggregate(rankings, table, delta)
+
+    rows = list(zip(rankings.labels, rankings)) + [
+        ("Kemeny", kemeny),
+        ("Fair-Schulze", fair_schulze),
+        ("Fair-Borda", fair_borda),
+    ]
+    print("Per-group FPR, ARP and IRP (Table IV layout):\n")
+    print(FairnessTable.from_rankings(table, rows).to_text())
+    print()
+
+    print(
+        "Merit aid allocated proportionally to favored-pair share (FPR), as in "
+        "the paper's reading of Table IV:"
+    )
+    from repro.fairness import fpr_by_group
+
+    for name, ranking in [("Kemeny", kemeny), ("Fair-Borda", fair_borda)]:
+        lunch_fpr = fpr_by_group(ranking, table, "Lunch")
+        ratio = lunch_fpr["Lunch=NoSub"] / max(lunch_fpr["Lunch=SubLunch"], 1e-9)
+        formatted = ", ".join(f"{group}: {score:.2f}" for group, score in lunch_fpr.items())
+        print(f"  {name:<12} {formatted}   (NoSub receives {ratio:.1f}x the favored pairs)")
+    print()
+
+    print("Fraction of each Lunch group inside the top-25% scholarship band:")
+    for name, ranking in [("Kemeny", kemeny), ("Fair-Borda", fair_borda)]:
+        shares = scholarship_shares(ranking, table, "Lunch")
+        formatted = ", ".join(f"{group}: {share:.0%}" for group, share in shares.items())
+        print(f"  {name:<12} {formatted}")
+    print()
+    print(
+        "Under the fairness-unaware consensus, students needing subsidised "
+        "lunch win roughly half as many favored pairs as the others; the fair "
+        "consensus equalises the pairwise allocation (MANI-Rank targets "
+        "whole-ranking parity, so small top-k gaps can remain) while still "
+        "following the exam-based rankings wherever fairness permits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+only so that ``python setup.py develop`` works in offline environments whose
+setuptools/pip combination cannot perform PEP 660 editable installs (no
+``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""Abstract interface shared by every fairness-unaware rank aggregator.
+
+An aggregator turns a :class:`~repro.core.ranking_set.RankingSet` into a
+single consensus :class:`~repro.core.ranking.Ranking`.  Each concrete method
+(Borda, Copeland, Schulze, Kemeny, ...) subclasses :class:`RankAggregator` and
+implements :meth:`RankAggregator._aggregate`; the public :meth:`aggregate`
+wrapper performs common validation and (optionally) records the consensus
+objective value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import AggregationError
+
+__all__ = ["RankAggregator", "AggregationResult"]
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Consensus ranking together with method metadata.
+
+    Attributes
+    ----------
+    ranking:
+        The consensus ranking.
+    method:
+        Name of the method that produced it.
+    diagnostics:
+        Free-form method statistics (e.g. ILP rounds, number of lazy
+        constraints, candidate scores).
+    """
+
+    ranking: Ranking
+    method: str
+    diagnostics: dict[str, object] = field(default_factory=dict)
+
+
+class RankAggregator(ABC):
+    """Base class for fairness-unaware consensus ranking methods."""
+
+    #: Human-readable method name; subclasses override.
+    name: str = "aggregator"
+
+    def aggregate(self, rankings: RankingSet) -> Ranking:
+        """Return the consensus ranking for ``rankings``."""
+        return self.aggregate_with_diagnostics(rankings).ranking
+
+    def aggregate_with_diagnostics(self, rankings: RankingSet) -> AggregationResult:
+        """Return the consensus ranking plus method diagnostics."""
+        if not isinstance(rankings, RankingSet):
+            raise AggregationError(
+                f"{self.name} expects a RankingSet, got {type(rankings).__name__}"
+            )
+        if rankings.n_candidates < 1:
+            raise AggregationError("cannot aggregate over an empty candidate universe")
+        result = self._aggregate(rankings)
+        if isinstance(result, AggregationResult):
+            return result
+        return AggregationResult(ranking=result, method=self.name)
+
+    @abstractmethod
+    def _aggregate(self, rankings: RankingSet) -> Ranking | AggregationResult:
+        """Produce the consensus ranking (implemented by subclasses)."""
+
+    def __call__(self, rankings: RankingSet) -> Ranking:
+        return self.aggregate(rankings)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

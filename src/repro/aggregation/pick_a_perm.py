@@ -1,0 +1,45 @@
+"""Pick-A-Perm rank aggregation (Schalekamp & van Zuylen, 2009).
+
+Pick-A-Perm returns one of the base rankings themselves as the consensus: the
+base ranking with the smallest summed Kendall tau distance to all the others.
+It is a 2-approximation of Kemeny and the fairness-aware variant used as a
+baseline in the paper (Pick-Fairest-Perm, Section IV-B) swaps the selection
+criterion from "closest" to "fairest"; that variant lives in
+:mod:`repro.fair.baselines`.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.base import AggregationResult, RankAggregator
+from repro.core.distances import kendall_tau
+from repro.core.ranking_set import RankingSet
+
+__all__ = ["PickAPermAggregator"]
+
+
+class PickAPermAggregator(RankAggregator):
+    """Return the base ranking minimising total Kendall tau distance to the others."""
+
+    name = "Pick-A-Perm"
+
+    def _aggregate(self, rankings: RankingSet) -> AggregationResult:
+        best_index = 0
+        best_cost = float("inf")
+        for index, candidate in enumerate(rankings):
+            cost = sum(
+                kendall_tau(candidate, other)
+                for other_index, other in enumerate(rankings)
+                if other_index != index
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best_index = index
+        return AggregationResult(
+            ranking=rankings[best_index],
+            method=self.name,
+            diagnostics={
+                "selected_index": best_index,
+                "selected_label": rankings.label_of(best_index),
+                "total_distance": best_cost,
+            },
+        )

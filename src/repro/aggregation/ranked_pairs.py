@@ -1,0 +1,93 @@
+"""Ranked Pairs (Tideman) rank aggregation.
+
+Ranked Pairs is a classic Condorcet-consistent voting rule: sort the pairwise
+majorities by strength, then lock them in one at a time, skipping any majority
+that would create a cycle with the already-locked ones.  The locked relation
+is a total order whose topological order is the consensus ranking.
+
+It is not evaluated in the MANI-Rank paper but belongs to the same family of
+pairwise Condorcet methods as Copeland and Schulze (Section III-B); it is
+included as an additional substrate method, an alternative Make-MR-Fair seed,
+and a cross-check for the Condorcet-winner tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import AggregationResult, RankAggregator
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+
+__all__ = ["RankedPairsAggregator"]
+
+
+class _CycleChecker:
+    """Incremental reachability structure for the lock-in step."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._reachable = np.eye(n, dtype=bool)
+
+    def creates_cycle(self, winner: int, loser: int) -> bool:
+        """Locking ``winner -> loser`` creates a cycle iff ``loser`` reaches ``winner``."""
+        return bool(self._reachable[loser, winner])
+
+    def lock(self, winner: int, loser: int) -> None:
+        """Add the edge ``winner -> loser`` and update transitive reachability."""
+        # Everything that reaches the winner now also reaches everything the
+        # loser reaches.
+        reaches_winner = self._reachable[:, winner]
+        reached_by_loser = self._reachable[loser, :]
+        self._reachable[np.ix_(reaches_winner, reached_by_loser)] = True
+
+    def descendants(self) -> np.ndarray:
+        """Number of candidates each candidate reaches in the locked closure."""
+        return self._reachable.sum(axis=1).astype(float) - 1.0
+
+
+class RankedPairsAggregator(RankAggregator):
+    """Tideman's Ranked Pairs consensus ranking."""
+
+    name = "Ranked-Pairs"
+
+    def __init__(self, weighted: bool = False) -> None:
+        self._weighted = weighted
+
+    def _aggregate(self, rankings: RankingSet) -> AggregationResult:
+        n = rankings.n_candidates
+        if n == 1:
+            return AggregationResult(Ranking([0]), self.name)
+        support = rankings.pairwise_support(weighted=self._weighted)
+
+        # Majorities sorted by (margin, winner support) descending; ties are
+        # broken by candidate ids so the outcome is deterministic.
+        majorities: list[tuple[float, float, int, int]] = []
+        for a in range(n):
+            for b in range(n):
+                if a != b and support[a, b] > support[b, a]:
+                    margin = support[a, b] - support[b, a]
+                    majorities.append((margin, support[a, b], a, b))
+        majorities.sort(key=lambda item: (-item[0], -item[1], item[2], item[3]))
+
+        checker = _CycleChecker(n)
+        for _, _, winner, loser in majorities:
+            if not checker.creates_cycle(winner, loser):
+                checker.lock(winner, loser)
+
+        # Rank by the number of candidates reached in the transitive closure
+        # of the locked relation: a topological order of the locked graph.
+        wins = checker.descendants()
+        # Break remaining ties (pairs never ordered by any locked majority)
+        # by total pairwise support, scaled so it cannot overturn a locked win.
+        totals = support.sum(axis=1)
+        max_total = totals.max() if totals.size else 0.0
+        scores = wins
+        if max_total > 0:
+            scores = wins + 0.5 * totals / (max_total + 1.0)
+        ranking = Ranking.from_scores(scores, descending=True)
+        return AggregationResult(
+            ranking=ranking,
+            method=self.name,
+            diagnostics={"locked_wins": wins},
+        )

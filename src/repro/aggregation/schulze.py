@@ -1,0 +1,83 @@
+"""Schulze rank aggregation (Schulze, 2011/2018).
+
+The Schulze method treats the pairwise-support matrix as a weighted directed
+graph and ranks candidates by the strength of their strongest (widest) paths
+to the other candidates, computed with a Floyd–Warshall variant.  It is a
+Condorcet method and, as the paper notes (Section III-B), is widely used for
+real multi-winner elections (Wikimedia, Debian, Gentoo, Ubuntu, ...).
+
+Complexity: O(n^2 |R|) for the support matrix plus O(n^3) for strongest paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import AggregationResult, RankAggregator
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+
+__all__ = ["SchulzeAggregator", "strongest_paths", "schulze_scores"]
+
+
+def strongest_paths(support: np.ndarray) -> np.ndarray:
+    """Widest-path strengths between every ordered pair of candidates.
+
+    ``support[a, b]`` is the number of base rankings preferring ``a`` to
+    ``b``.  An edge ``a -> b`` exists (with weight ``support[a, b]``) when
+    more rankings prefer ``a`` to ``b`` than the reverse.  The strength of a
+    path is its weakest edge; ``P[a, b]`` is the strength of the strongest
+    path from ``a`` to ``b``.
+    """
+    support = np.asarray(support, dtype=float)
+    n = support.shape[0]
+    strengths = np.where(support > support.T, support, 0.0)
+    np.fill_diagonal(strengths, 0.0)
+    # Floyd–Warshall variant: relax through every intermediate candidate.
+    for k in range(n):
+        # strongest path via k: min(strength[i, k], strength[k, j])
+        via_k = np.minimum.outer(strengths[:, k], strengths[k, :])
+        np.maximum(strengths, via_k, out=strengths)
+        np.fill_diagonal(strengths, 0.0)
+    return strengths
+
+
+def schulze_scores(rankings: RankingSet, weighted: bool = False) -> np.ndarray:
+    """Per-candidate Schulze score: number of candidates beaten in widest-path order."""
+    support = rankings.pairwise_support(weighted=weighted)
+    paths = strongest_paths(support)
+    beats = (paths > paths.T).astype(np.int64)
+    np.fill_diagonal(beats, 0)
+    return beats.sum(axis=1).astype(float)
+
+
+class SchulzeAggregator(RankAggregator):
+    """Order candidates by the Schulze widest-path relation.
+
+    Candidates are sorted by the number of opponents they beat in the
+    strongest-path comparison; ties are broken by total path strength and then
+    candidate id so the output is deterministic.
+    """
+
+    name = "Schulze"
+
+    def __init__(self, weighted: bool = False) -> None:
+        self._weighted = weighted
+
+    def _aggregate(self, rankings: RankingSet) -> AggregationResult:
+        support = rankings.pairwise_support(weighted=self._weighted)
+        paths = strongest_paths(support)
+        beats = (paths > paths.T).astype(np.int64)
+        np.fill_diagonal(beats, 0)
+        wins = beats.sum(axis=1).astype(float)
+        total_strength = paths.sum(axis=1)
+        max_strength = total_strength.max() if total_strength.size else 0.0
+        scores = wins
+        if max_strength > 0:
+            scores = wins + 0.5 * total_strength / (max_strength + 1.0)
+        ranking = Ranking.from_scores(scores, descending=True)
+        return AggregationResult(
+            ranking=ranking,
+            method=self.name,
+            diagnostics={"wins": wins, "strongest_paths": paths},
+        )

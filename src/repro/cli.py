@@ -1,0 +1,124 @@
+"""Command-line interface for the MANI-Rank reproduction.
+
+Usage::
+
+    mani-rank list                         # list the reproducible experiments
+    mani-rank run figure4                  # run one experiment at ci scale
+    mani-rank run table4 --scale paper     # full-size run
+    mani-rank run figure5 --output out.json --quiet
+    mani-rank aggregate rankings.csv candidates.csv --method fair-borda --delta 0.1
+
+The ``aggregate`` subcommand runs a fair consensus method on user-supplied CSV
+files (formats documented in :mod:`repro.io.csv_io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import available_experiments, run_experiment
+from repro.fair.registry import available_fair_methods, get_fair_method
+from repro.fairness.parity import parity_scores
+from repro.fairness.pd_loss import pd_loss
+from repro.io.csv_io import read_candidate_table, read_ranking_set
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``mani-rank`` command."""
+    parser = argparse.ArgumentParser(
+        prog="mani-rank",
+        description="MANI-Rank reproduction: fair consensus ranking experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible experiments and fair methods")
+
+    run_parser = subparsers.add_parser("run", help="run a paper experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. figure4 or table1")
+    run_parser.add_argument(
+        "--scale",
+        default="ci",
+        choices=("ci", "paper"),
+        help="workload size preset (default: ci)",
+    )
+    run_parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    run_parser.add_argument(
+        "--output", default=None, help="write the result to this JSON file"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="do not print the result table"
+    )
+
+    aggregate_parser = subparsers.add_parser(
+        "aggregate", help="run a fair consensus method on CSV inputs"
+    )
+    aggregate_parser.add_argument("rankings_csv", help="ranking set CSV (see repro.io)")
+    aggregate_parser.add_argument("candidates_csv", help="candidate table CSV (see repro.io)")
+    aggregate_parser.add_argument(
+        "--method", default="fair-borda", help="fair method name or paper label (A1-B4)"
+    )
+    aggregate_parser.add_argument(
+        "--delta", type=float, default=0.1, help="MANI-Rank fairness threshold"
+    )
+    return parser
+
+
+def _command_list() -> int:
+    print("Experiments (mani-rank run <id>):")
+    for name, description in available_experiments().items():
+        print(f"  {name:<10} {description}")
+    print()
+    print("Fair consensus methods (mani-rank aggregate --method <name>):")
+    for name in available_fair_methods():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    kwargs: dict[str, object] = {"scale": args.scale}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = run_experiment(args.experiment, **kwargs)
+    if not args.quiet:
+        print(result.to_text())
+    if args.output:
+        result.save(args.output)
+        print(f"\nresult written to {args.output}")
+    return 0
+
+
+def _command_aggregate(args: argparse.Namespace) -> int:
+    table = read_candidate_table(args.candidates_csv)
+    rankings = read_ranking_set(args.rankings_csv, table)
+    method = get_fair_method(args.method)
+    consensus = method.aggregate(rankings, table, args.delta)
+    print(f"method: {method.name}   delta: {args.delta}")
+    print("consensus (best to worst):")
+    print("  " + ", ".join(table.name_of(candidate) for candidate in consensus))
+    print(f"PD loss: {pd_loss(rankings, consensus):.4f}")
+    for entity, score in parity_scores(consensus, table).items():
+        label = "IRP" if entity == table.INTERSECTION else f"ARP {entity}"
+        print(f"{label}: {score:.4f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``mani-rank`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "aggregate":
+        return _command_aggregate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Core data structures: candidates, rankings, ranking sets, and distances."""
+
+from repro.core.candidates import CandidateTable, Group, ProtectedAttribute, intersection_label
+from repro.core.distances import (
+    kemeny_objective,
+    kendall_tau,
+    kendall_tau_naive,
+    kendall_tau_to_set,
+    normalized_kendall_tau,
+    normalized_spearman_footrule,
+    spearman_footrule,
+)
+from repro.core.pairwise import (
+    favored_mixed_pairs,
+    favored_mixed_pairs_by_group,
+    mixed_pairs,
+    pairwise_contest_wins,
+    precedence_matrix,
+    total_mixed_pairs,
+    total_pairs,
+)
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+
+__all__ = [
+    "CandidateTable",
+    "Group",
+    "ProtectedAttribute",
+    "intersection_label",
+    "Ranking",
+    "RankingSet",
+    "kendall_tau",
+    "kendall_tau_naive",
+    "kendall_tau_to_set",
+    "normalized_kendall_tau",
+    "spearman_footrule",
+    "normalized_spearman_footrule",
+    "kemeny_objective",
+    "total_pairs",
+    "mixed_pairs",
+    "total_mixed_pairs",
+    "favored_mixed_pairs",
+    "favored_mixed_pairs_by_group",
+    "precedence_matrix",
+    "pairwise_contest_wins",
+]

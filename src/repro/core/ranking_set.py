@@ -1,0 +1,250 @@
+"""A set of base rankings (``R`` in the paper) produced by ``m`` rankers.
+
+:class:`RankingSet` wraps a list of :class:`~repro.core.ranking.Ranking`
+objects over the same candidate universe and provides the aggregate views the
+consensus methods consume: the precedence matrix ``W`` (Definition 11), the
+position matrix used by positional methods (Borda), and per-ranking weights
+for weighted aggregation baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.ranking import Ranking
+from repro.exceptions import RankingError, ValidationError
+
+__all__ = ["RankingSet"]
+
+
+class RankingSet:
+    """An ordered collection of base rankings over one candidate universe.
+
+    Parameters
+    ----------
+    rankings:
+        The base rankings.  Every ranking must cover the same number of
+        candidates.
+    labels:
+        Optional per-ranking labels (e.g. ranker names, exam subjects, or
+        years).  Defaults to ``r1, r2, ...``.
+    weights:
+        Optional non-negative per-ranking weights used by weighted consensus
+        methods.  Defaults to uniform weight 1.
+    """
+
+    def __init__(
+        self,
+        rankings: Sequence[Ranking],
+        labels: Sequence[str] | None = None,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        rankings = list(rankings)
+        if not rankings:
+            raise RankingError("a ranking set must contain at least one ranking")
+        for index, ranking in enumerate(rankings):
+            if not isinstance(ranking, Ranking):
+                raise RankingError(
+                    f"item {index} is not a Ranking (got {type(ranking).__name__})"
+                )
+        n = rankings[0].n_candidates
+        for index, ranking in enumerate(rankings):
+            if ranking.n_candidates != n:
+                raise RankingError(
+                    "all base rankings must cover the same candidates: "
+                    f"ranking 0 has {n}, ranking {index} has {ranking.n_candidates}"
+                )
+        self._rankings = tuple(rankings)
+        self._n = n
+
+        if labels is not None:
+            if len(labels) != len(rankings):
+                raise ValidationError(
+                    f"got {len(labels)} labels for {len(rankings)} rankings"
+                )
+            self._labels = tuple(str(label) for label in labels)
+        else:
+            self._labels = tuple(f"r{i + 1}" for i in range(len(rankings)))
+
+        if weights is not None:
+            weight_array = np.asarray(weights, dtype=float)
+            if weight_array.shape != (len(rankings),):
+                raise ValidationError(
+                    f"weights must have one entry per ranking; got shape "
+                    f"{weight_array.shape} for {len(rankings)} rankings"
+                )
+            if (weight_array < 0).any():
+                raise ValidationError("ranking weights must be non-negative")
+            if weight_array.sum() == 0:
+                raise ValidationError("at least one ranking weight must be positive")
+            self._weights = weight_array
+        else:
+            self._weights = np.ones(len(rankings), dtype=float)
+        self._weights.setflags(write=False)
+
+        self._precedence_cache: np.ndarray | None = None
+        self._position_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_orders(
+        cls,
+        orders: Iterable[Sequence[int]],
+        labels: Sequence[str] | None = None,
+        weights: Sequence[float] | None = None,
+    ) -> "RankingSet":
+        """Build a ranking set from raw candidate-order sequences."""
+        rankings = [Ranking(order) for order in orders]
+        return cls(rankings, labels=labels, weights=weights)
+
+    @classmethod
+    def from_score_columns(
+        cls,
+        score_columns: dict[str, Sequence[float]],
+        descending: bool = True,
+    ) -> "RankingSet":
+        """Build one base ranking per score column (e.g. one per exam subject)."""
+        labels = list(score_columns)
+        rankings = [
+            Ranking.from_scores(scores, descending=descending)
+            for scores in score_columns.values()
+        ]
+        return cls(rankings, labels=labels)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_candidates(self) -> int:
+        """Number of candidates every base ranking covers."""
+        return self._n
+
+    @property
+    def n_rankings(self) -> int:
+        """Number of base rankings ``|R|``."""
+        return len(self._rankings)
+
+    def __len__(self) -> int:
+        return len(self._rankings)
+
+    def __iter__(self) -> Iterator[Ranking]:
+        return iter(self._rankings)
+
+    def __getitem__(self, index: int) -> Ranking:
+        return self._rankings[index]
+
+    @property
+    def rankings(self) -> tuple[Ranking, ...]:
+        """The base rankings as a tuple."""
+        return self._rankings
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Per-ranking labels."""
+        return self._labels
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-ranking non-negative weights (read-only array)."""
+        return self._weights
+
+    def with_weights(self, weights: Sequence[float]) -> "RankingSet":
+        """Return a copy of this set with different per-ranking weights."""
+        return RankingSet(list(self._rankings), labels=self._labels, weights=weights)
+
+    def label_of(self, index: int) -> str:
+        """Return the label of ranking ``index``."""
+        return self._labels[index]
+
+    # ------------------------------------------------------------------
+    # aggregate matrices
+    # ------------------------------------------------------------------
+    def precedence_matrix(self, weighted: bool = False) -> np.ndarray:
+        """Return the precedence matrix ``W`` of Definition 11.
+
+        ``W[a, b]`` counts the base rankings in which ``b`` precedes ``a``
+        (i.e. the number of disagreements incurred by placing ``a`` above
+        ``b`` in the consensus).  With ``weighted=True`` each ranking
+        contributes its weight instead of 1.
+
+        The unweighted matrix is cached because several aggregators request
+        it for the same ranking set.
+        """
+        if not weighted and self._precedence_cache is not None:
+            return self._precedence_cache
+        weights = self._weights if weighted else np.ones(self.n_rankings)
+        matrix = np.zeros((self._n, self._n), dtype=float)
+        for ranking, weight in zip(self._rankings, weights):
+            positions = ranking.positions
+            # b precedes a  <=>  positions[b] < positions[a]
+            precedes = positions[np.newaxis, :] < positions[:, np.newaxis]
+            matrix += weight * precedes
+        np.fill_diagonal(matrix, 0.0)
+        if not weighted:
+            matrix.setflags(write=False)
+            self._precedence_cache = matrix
+        return matrix
+
+    def pairwise_support(self, weighted: bool = False) -> np.ndarray:
+        """Return ``S`` with ``S[a, b]`` = number of rankings preferring ``a`` to ``b``.
+
+        This is the transpose of :meth:`precedence_matrix` and the matrix the
+        Copeland and Schulze methods reason over.
+        """
+        return self.precedence_matrix(weighted=weighted).T
+
+    def position_matrix(self) -> np.ndarray:
+        """Return an ``m x n`` matrix of 0-based positions.
+
+        Row ``i`` holds the positions of every candidate in base ranking
+        ``i``; used by positional methods such as Borda and footrule.
+        """
+        if self._position_cache is None:
+            matrix = np.vstack([ranking.positions for ranking in self._rankings])
+            matrix.setflags(write=False)
+            self._position_cache = matrix
+        return self._position_cache
+
+    def mean_positions(self) -> np.ndarray:
+        """Return the average 0-based position of every candidate."""
+        return self.position_matrix().mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def subset(self, indexes: Sequence[int]) -> "RankingSet":
+        """Return a new set containing only the rankings at ``indexes``."""
+        indexes = list(indexes)
+        if not indexes:
+            raise RankingError("cannot build an empty ranking subset")
+        return RankingSet(
+            [self._rankings[i] for i in indexes],
+            labels=[self._labels[i] for i in indexes],
+            weights=[float(self._weights[i]) for i in indexes],
+        )
+
+    def extended_with(self, rankings: Sequence[Ranking], labels: Sequence[str] | None = None) -> "RankingSet":
+        """Return a new set with additional rankings appended."""
+        extra_labels = (
+            list(labels)
+            if labels is not None
+            else [f"r{self.n_rankings + i + 1}" for i in range(len(rankings))]
+        )
+        return RankingSet(
+            list(self._rankings) + list(rankings),
+            labels=list(self._labels) + extra_labels,
+        )
+
+    def to_order_lists(self) -> list[list[int]]:
+        """Return the base rankings as plain lists of candidate ids."""
+        return [ranking.to_list() for ranking in self._rankings]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RankingSet(n_rankings={self.n_rankings}, "
+            f"n_candidates={self.n_candidates})"
+        )

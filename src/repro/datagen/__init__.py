@@ -1,0 +1,56 @@
+"""Synthetic data generators: Mallows rankings, fairness profiles, case-study datasets."""
+
+from repro.datagen.attributes import (
+    GENDER_DOMAIN,
+    RACE_DOMAIN,
+    balanced_candidate_table,
+    paper_mallows_table,
+    proportional_candidate_table,
+    small_mallows_table,
+    scalability_table,
+)
+from repro.datagen.csrankings import CSRankingsDataset, generate_csrankings_dataset
+from repro.datagen.exams import SUBJECTS, ExamDataset, generate_exam_dataset
+from repro.datagen.fair_modal import (
+    FAIRNESS_PROFILES,
+    MallowsFairnessDataset,
+    biased_modal_ranking,
+    calibrated_modal_ranking,
+    generate_mallows_dataset,
+    modal_ranking_with_parity_targets,
+    privileged_modal_ranking,
+    profile_modal_ranking,
+)
+from repro.datagen.mallows import (
+    expected_kendall_distance,
+    mallows_normalization,
+    sample_mallows,
+    sample_mallows_ranking,
+)
+
+__all__ = [
+    "balanced_candidate_table",
+    "proportional_candidate_table",
+    "paper_mallows_table",
+    "small_mallows_table",
+    "scalability_table",
+    "GENDER_DOMAIN",
+    "RACE_DOMAIN",
+    "sample_mallows",
+    "sample_mallows_ranking",
+    "expected_kendall_distance",
+    "mallows_normalization",
+    "FAIRNESS_PROFILES",
+    "privileged_modal_ranking",
+    "biased_modal_ranking",
+    "calibrated_modal_ranking",
+    "modal_ranking_with_parity_targets",
+    "profile_modal_ranking",
+    "MallowsFairnessDataset",
+    "generate_mallows_dataset",
+    "ExamDataset",
+    "generate_exam_dataset",
+    "SUBJECTS",
+    "CSRankingsDataset",
+    "generate_csrankings_dataset",
+]

@@ -1,0 +1,158 @@
+"""Generators for candidate tables with protected-attribute structure.
+
+These functions build the candidate universes used throughout the paper's
+synthetic experiments:
+
+* :func:`balanced_candidate_table` — every intersectional group has the same
+  size (the 90-candidate Race(5) × Gender(3) universe of Table I has 6
+  candidates per intersectional group);
+* :func:`proportional_candidate_table` — attribute values drawn independently
+  with specified proportions (used for scalability experiments where group
+  sizes only need to be roughly controlled);
+* :func:`paper_mallows_table` and :func:`scalability_table` — the concrete
+  configurations referenced by the experiment modules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.candidates import CandidateTable
+from repro.exceptions import DataGenerationError
+
+__all__ = [
+    "balanced_candidate_table",
+    "proportional_candidate_table",
+    "paper_mallows_table",
+    "small_mallows_table",
+    "scalability_table",
+    "GENDER_DOMAIN",
+    "RACE_DOMAIN",
+]
+
+#: Attribute domains used by the paper's running admissions example.
+GENDER_DOMAIN = ("Man", "Non-binary", "Woman")
+RACE_DOMAIN = ("AlaskaNat", "Asian", "Black", "NatHawaii", "White")
+
+
+def balanced_candidate_table(
+    domains: Mapping[str, Sequence[object]],
+    group_size: int,
+) -> CandidateTable:
+    """Build a table where every intersectional group has exactly ``group_size`` members.
+
+    The total number of candidates is ``group_size * prod(|domain|)``.
+    Candidates are laid out intersection-group by intersection-group but ids
+    carry no ordering semantics (rankings decide positions).
+    """
+    if group_size <= 0:
+        raise DataGenerationError(f"group_size must be positive, got {group_size}")
+    names = list(domains)
+    if not names:
+        raise DataGenerationError("at least one attribute domain is required")
+    combos = list(itertools.product(*(domains[name] for name in names)))
+    columns: dict[str, list[object]] = {name: [] for name in names}
+    for combo in combos:
+        for _ in range(group_size):
+            for attribute, value in zip(names, combo):
+                columns[attribute].append(value)
+    return CandidateTable(columns, domains={name: tuple(domains[name]) for name in names})
+
+
+def proportional_candidate_table(
+    n_candidates: int,
+    domains: Mapping[str, Sequence[object]],
+    proportions: Mapping[str, Sequence[float]] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> CandidateTable:
+    """Build a table of ``n_candidates`` with independently drawn attribute values.
+
+    Parameters
+    ----------
+    n_candidates:
+        Number of candidates.
+    domains:
+        Mapping attribute name -> value domain.
+    proportions:
+        Optional per-attribute value proportions (must sum to 1); defaults to
+        uniform.  Sampling guarantees every value appears at least once so
+        that no group is empty (required for the FPR to be defined), provided
+        ``n_candidates >= |domain|``.
+    rng:
+        Numpy generator or seed.
+    """
+    if n_candidates <= 0:
+        raise DataGenerationError(f"n_candidates must be positive, got {n_candidates}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    columns: dict[str, list[object]] = {}
+    for name, domain in domains.items():
+        domain = list(domain)
+        if n_candidates < len(domain):
+            raise DataGenerationError(
+                f"cannot give every value of {name!r} at least one candidate: "
+                f"{n_candidates} candidates for {len(domain)} values"
+            )
+        if proportions and name in proportions:
+            weights = np.asarray(proportions[name], dtype=float)
+            if weights.shape != (len(domain),):
+                raise DataGenerationError(
+                    f"proportions for {name!r} must have {len(domain)} entries"
+                )
+            if not np.isclose(weights.sum(), 1.0):
+                raise DataGenerationError(
+                    f"proportions for {name!r} must sum to 1, got {weights.sum()}"
+                )
+        else:
+            weights = np.full(len(domain), 1.0 / len(domain))
+        # Guarantee one candidate per value, then fill the rest proportionally.
+        values = list(domain)
+        remaining = n_candidates - len(domain)
+        if remaining > 0:
+            drawn = rng.choice(len(domain), size=remaining, p=weights)
+            values.extend(domain[int(index)] for index in drawn)
+        rng.shuffle(values)
+        columns[name] = values
+    return CandidateTable(columns, domains={name: tuple(domain) for name, domain in domains.items()})
+
+
+def paper_mallows_table(group_size: int = 6) -> CandidateTable:
+    """The Table I candidate universe: Race(5) × Gender(3), ``group_size`` per intersection.
+
+    With the default ``group_size=6`` this is the 90-candidate universe used
+    by Figures 3–5.
+    """
+    return balanced_candidate_table(
+        {"Gender": GENDER_DOMAIN, "Race": RACE_DOMAIN}, group_size=group_size
+    )
+
+
+def small_mallows_table(group_size: int = 2) -> CandidateTable:
+    """A reduced Figures 3–5 universe: Gender(2) × Race(3), ``group_size`` per intersection.
+
+    Used by the ``ci`` experiment scale so the exact-ILP methods (Kemeny and
+    Fair-Kemeny solved with HiGHS rather than CPLEX) finish in seconds while
+    still exercising multi-valued attributes and a six-group intersection.
+    """
+    return balanced_candidate_table(
+        {"Gender": ("Man", "Woman"), "Race": ("Asian", "Black", "White")},
+        group_size=group_size,
+    )
+
+
+def scalability_table(
+    n_candidates: int, rng: np.random.Generator | int | None = 7
+) -> CandidateTable:
+    """The scalability-study universe: binary Race and Gender over ``n_candidates``.
+
+    Matches the setup of Figures 6–7 and Tables II–III (``dom(Race) = 2``,
+    ``dom(Gender) = 2``).
+    """
+    return proportional_candidate_table(
+        n_candidates,
+        {"Gender": ("Man", "Woman"), "Race": ("White", "Non-white")},
+        rng=rng,
+    )

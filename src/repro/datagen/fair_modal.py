@@ -1,0 +1,375 @@
+"""Fairness-controlled modal rankings (the Low/Medium/High-Fair datasets of Table I).
+
+The paper controls the fairness of the base rankings by fixing the fairness of
+the Mallows *modal* ranking and then varying the spread ``θ``.  This module
+offers three ways to construct such modal rankings:
+
+1. :func:`privileged_modal_ranking` — a maximally biased ranking in which
+   candidates are sorted by a privilege score derived from their attribute
+   values (the most privileged intersectional group sits entirely at the top,
+   the least privileged entirely at the bottom, so IRP = 1).
+2. :func:`biased_modal_ranking` — a score-based ranking where each protected
+   attribute contributes a tunable bias strength; the stronger the bias, the
+   larger that attribute's ARP.
+3. :func:`calibrated_modal_ranking` — per-attribute bisection on the bias
+   strengths of (2) until every attribute's ARP matches its target to within
+   a tolerance.  This is what the named Table I profiles use, because the
+   attribute biases are (nearly) decoupled under the score model, so hitting
+   per-attribute targets does not destroy the intersectional profile.
+
+The achieved profile is always recorded alongside the generated dataset so
+experiments report paper-target vs achieved values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.datagen.mallows import sample_mallows
+from repro.exceptions import DataGenerationError
+from repro.fair.make_mr_fair import make_mr_fair
+from repro.fairness.parity import parity_scores
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = [
+    "FAIRNESS_PROFILES",
+    "privileged_modal_ranking",
+    "biased_modal_ranking",
+    "calibrated_modal_ranking",
+    "modal_ranking_with_parity_targets",
+    "profile_modal_ranking",
+    "MallowsFairnessDataset",
+    "generate_mallows_dataset",
+]
+
+#: Target (ARP_Gender, ARP_Race, IRP) profiles of Table I.  Keys are the
+#: dataset names used throughout Section IV.
+FAIRNESS_PROFILES: dict[str, dict[str, float]] = {
+    "low": {"Gender": 0.70, "Race": 0.70, CandidateTable.INTERSECTION: 1.00},
+    "medium": {"Gender": 0.50, "Race": 0.50, CandidateTable.INTERSECTION: 0.75},
+    "high": {"Gender": 0.30, "Race": 0.30, CandidateTable.INTERSECTION: 0.54},
+}
+
+
+def privileged_modal_ranking(
+    table: CandidateTable,
+    privilege_order: Mapping[str, Sequence[object]] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> Ranking:
+    """Maximally biased ranking: candidates sorted by attribute privilege.
+
+    Parameters
+    ----------
+    table:
+        Candidate universe.
+    privilege_order:
+        Per-attribute value order from most to least privileged.  Defaults to
+        the attribute's declared domain order.
+    rng:
+        Optional generator used to shuffle candidates *within* identical
+        privilege profiles (does not change any parity score).
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    orders: dict[str, dict[object, int]] = {}
+    for attribute in table.attributes:
+        if privilege_order and attribute.name in privilege_order:
+            declared = list(privilege_order[attribute.name])
+            missing = set(attribute.domain) - set(declared)
+            if missing:
+                raise DataGenerationError(
+                    f"privilege order for {attribute.name!r} is missing values "
+                    f"{sorted(map(str, missing))}"
+                )
+            orders[attribute.name] = {value: index for index, value in enumerate(declared)}
+        else:
+            orders[attribute.name] = {
+                value: index for index, value in enumerate(attribute.domain)
+            }
+    tiebreak = rng.permutation(table.n_candidates)
+    keys = []
+    for candidate in table.candidate_ids:
+        privilege = tuple(
+            orders[name][table.value_of(candidate, name)]
+            for name in table.attribute_names
+        )
+        keys.append((privilege, int(tiebreak[candidate]), candidate))
+    ordered = [candidate for _, _, candidate in sorted(keys)]
+    return Ranking(np.asarray(ordered, dtype=np.int64), validate=False)
+
+
+def _privilege_levels(
+    table: CandidateTable,
+    privilege_order: Mapping[str, Sequence[object]] | None = None,
+) -> dict[str, dict[object, float]]:
+    """Per-attribute mapping value -> privilege level in [0, 1] (1 = most privileged)."""
+    levels: dict[str, dict[object, float]] = {}
+    for attribute in table.attributes:
+        if privilege_order and attribute.name in privilege_order:
+            ordered = list(privilege_order[attribute.name])
+            missing = set(attribute.domain) - set(ordered)
+            if missing:
+                raise DataGenerationError(
+                    f"privilege order for {attribute.name!r} is missing values "
+                    f"{sorted(map(str, missing))}"
+                )
+        else:
+            ordered = list(attribute.domain)
+        span = max(len(ordered) - 1, 1)
+        levels[attribute.name] = {
+            value: 1.0 - index / span for index, value in enumerate(ordered)
+        }
+    return levels
+
+
+def biased_modal_ranking(
+    table: CandidateTable,
+    bias_strengths: Mapping[str, float],
+    rng: np.random.Generator | int | None = None,
+    noise: np.ndarray | None = None,
+) -> Ranking:
+    """Rank candidates by biased latent scores.
+
+    Each candidate's score is ``sum_attr strength[attr] * privilege(value) +
+    noise`` with uniform(0, 1) noise, so ``strength = 0`` gives an unbiased
+    (random) ranking and large strengths sort candidates by privilege.
+
+    Parameters
+    ----------
+    bias_strengths:
+        Non-negative bias strength per attribute name (missing attributes get
+        strength 0).
+    rng:
+        Generator or seed used to draw the noise when ``noise`` is not given.
+    noise:
+        Optional pre-drawn noise vector (one value per candidate); passing the
+        same noise across calls makes the ranking a deterministic, monotone
+        function of the strengths, which the calibration relies on.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if noise is None:
+        noise = rng.uniform(0.0, 1.0, size=table.n_candidates)
+    elif noise.shape != (table.n_candidates,):
+        raise DataGenerationError(
+            f"noise must have one entry per candidate, got shape {noise.shape}"
+        )
+    levels = _privilege_levels(table)
+    scores = noise.astype(float).copy()
+    for name, strength in bias_strengths.items():
+        if name not in levels:
+            raise DataGenerationError(f"unknown attribute {name!r} in bias_strengths")
+        if strength < 0:
+            raise DataGenerationError(
+                f"bias strength for {name!r} must be non-negative, got {strength}"
+            )
+        column = table.column(name)
+        scores += strength * np.array([levels[name][value] for value in column])
+    return Ranking.from_scores(scores, descending=True)
+
+
+def calibrated_modal_ranking(
+    table: CandidateTable,
+    targets: Mapping[str, float],
+    rng: np.random.Generator | int | None = None,
+    tolerance: float = 0.02,
+    max_strength: float = 25.0,
+    rounds: int = 3,
+    bisection_steps: int = 18,
+) -> Ranking:
+    """Modal ranking whose per-attribute ARP scores match ``targets``.
+
+    Runs coordinate-wise bisection on the bias strength of every targeted
+    attribute (holding the others fixed) for a few rounds; because the
+    attributes of the generated tables are (close to) independent, the ARP of
+    one attribute is nearly unaffected by the other strengths and the search
+    converges quickly.  Targets for the intersection cannot be set directly —
+    the intersectional profile emerges from the attribute biases — and are
+    ignored here (they are reported as achieved values by the dataset
+    generator).
+    """
+    from repro.fairness.parity import arp  # local import to avoid cycle at import time
+
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    noise = rng.uniform(0.0, 1.0, size=table.n_candidates)
+    attribute_targets = {
+        name: float(value)
+        for name, value in targets.items()
+        if name in table.attribute_names
+    }
+    for name, value in attribute_targets.items():
+        if not 0.0 <= value <= 1.0:
+            raise DataGenerationError(
+                f"target ARP for {name!r} must be in [0, 1], got {value}"
+            )
+    strengths = {name: 0.0 for name in attribute_targets}
+    for _ in range(rounds):
+        for name, target in attribute_targets.items():
+            low, high = 0.0, max_strength
+            for _ in range(bisection_steps):
+                middle = (low + high) / 2.0
+                strengths[name] = middle
+                ranking = biased_modal_ranking(table, strengths, noise=noise)
+                achieved = arp(ranking, table, name)
+                if abs(achieved - target) <= tolerance:
+                    break
+                if achieved < target:
+                    low = middle
+                else:
+                    high = middle
+    return biased_modal_ranking(table, strengths, noise=noise)
+
+
+def modal_ranking_with_parity_targets(
+    table: CandidateTable,
+    targets: Mapping[str, float],
+    privilege_order: Mapping[str, Sequence[object]] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> Ranking:
+    """Modal ranking whose ARP/IRP scores sit at (or just below) ``targets``.
+
+    Entities missing from ``targets`` default to a threshold of 1.0, i.e. are
+    left unconstrained.
+    """
+    start = privileged_modal_ranking(table, privilege_order=privilege_order, rng=rng)
+    thresholds = FairnessThresholds(1.0, dict(targets))
+    return make_mr_fair(start, table, thresholds).ranking
+
+
+def _cap_to_targets(
+    modal: Ranking,
+    table: CandidateTable,
+    targets: Mapping[str, float],
+) -> Ranking:
+    """Ensure no targeted entity exceeds its target ARP/IRP.
+
+    On small candidate universes the score-based calibration cannot reach
+    targets below the "noise floor" of a random ranking, so the generated
+    modal ranking may overshoot.  This helper applies the paper's own
+    Make-MR-Fair correction with the targets as per-entity thresholds, which
+    only ever *reduces* parity scores, leaving every targeted entity at or
+    just below its target.
+    """
+    scores = parity_scores(modal, table)
+    exceeded = any(
+        scores.get(entity, 0.0) > value + 1e-9 for entity, value in targets.items()
+    )
+    if not exceeded:
+        return modal
+    thresholds = FairnessThresholds(1.0, dict(targets))
+    return make_mr_fair(modal, table, thresholds).ranking
+
+
+def profile_modal_ranking(
+    table: CandidateTable,
+    profile: str,
+    rng: np.random.Generator | int | None = None,
+) -> Ranking:
+    """Modal ranking for one of the named Table I profiles (low / medium / high).
+
+    The per-attribute ARP targets of the profile are hit through
+    :func:`calibrated_modal_ranking`; the intersectional profile largely
+    emerges from the attribute biases, and any targeted entity that still
+    exceeds its target (possible on small universes) is capped with a
+    Make-MR-Fair pass.  Achieved values are reported alongside the generated
+    dataset.
+    """
+    key = profile.strip().lower().replace("-fair", "")
+    if key not in FAIRNESS_PROFILES:
+        raise DataGenerationError(
+            f"unknown fairness profile {profile!r}; expected one of "
+            f"{', '.join(FAIRNESS_PROFILES)}"
+        )
+    targets = FAIRNESS_PROFILES[key]
+    usable = {
+        entity: value
+        for entity, value in targets.items()
+        if entity in table.attribute_names
+    }
+    if not usable:
+        raise DataGenerationError(
+            f"profile {profile!r} targets attributes "
+            f"{sorted(set(targets) - {table.INTERSECTION})} but the table has "
+            f"attributes {list(table.attribute_names)}"
+        )
+    modal = calibrated_modal_ranking(table, usable, rng=rng)
+    # Cap only the attribute targets: the intersectional profile is emergent
+    # (capping it too would drag the attribute ARPs far below their targets,
+    # distorting the profile more than the IRP mismatch it fixes).
+    return _cap_to_targets(modal, table, usable)
+
+
+@dataclass(frozen=True)
+class MallowsFairnessDataset:
+    """A Mallows dataset with a fairness-controlled modal ranking.
+
+    Attributes mirror the quantities reported in Table I: the candidate table,
+    the modal ranking, its achieved parity scores, the spread parameter, and
+    the sampled base rankings.
+    """
+
+    name: str
+    table: CandidateTable
+    modal: Ranking
+    theta: float
+    rankings: RankingSet
+    modal_parity: dict[str, float]
+
+
+def generate_mallows_dataset(
+    table: CandidateTable,
+    profile: str | Mapping[str, float],
+    theta: float,
+    n_rankings: int,
+    rng: np.random.Generator | int | None = None,
+    name: str | None = None,
+) -> MallowsFairnessDataset:
+    """Generate a full Mallows dataset with a fairness-controlled modal ranking.
+
+    Parameters
+    ----------
+    table:
+        Candidate universe (e.g. :func:`repro.datagen.attributes.paper_mallows_table`).
+    profile:
+        Either a named Table I profile (``"low"``, ``"medium"``, ``"high"``)
+        or an explicit mapping of parity targets.
+    theta:
+        Mallows spread parameter controlling consensus strength.
+    n_rankings:
+        Number of base rankings to sample.
+    rng:
+        Numpy generator or seed (drives both modal construction tie-breaking
+        and Mallows sampling).
+    name:
+        Optional dataset name (defaults to the profile name).
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if isinstance(profile, str):
+        modal = profile_modal_ranking(table, profile, rng=rng)
+        dataset_name = name or f"{profile.lower()}-fair"
+    else:
+        attribute_targets = {
+            entity: value
+            for entity, value in profile.items()
+            if entity in table.attribute_names
+        }
+        modal = calibrated_modal_ranking(table, attribute_targets, rng=rng)
+        modal = _cap_to_targets(modal, table, dict(profile))
+        dataset_name = name or "custom"
+    rankings = sample_mallows(modal, theta, n_rankings, rng=rng)
+    return MallowsFairnessDataset(
+        name=dataset_name,
+        table=table,
+        modal=modal,
+        theta=theta,
+        rankings=rankings,
+        modal_parity=parity_scores(modal, table),
+    )

@@ -1,0 +1,127 @@
+"""Mallows model over rankings (Mallows, 1957) with repeated-insertion sampling.
+
+The paper's synthetic experiments (Section IV-A) draw base rankings from the
+Mallows distribution
+
+    P(π | σ, θ) = exp(-θ * d_KT(π, σ)) / ψ(θ)
+
+where ``σ`` is the modal (reference) ranking, ``θ >= 0`` the spread, and
+``d_KT`` the Kendall tau distance.  ``θ = 0`` is the uniform distribution over
+permutations (no consensus); larger ``θ`` concentrates the base rankings
+around the modal ranking.  The Kemeny consensus is the maximum-likelihood
+estimate of ``σ``.
+
+Sampling uses the repeated-insertion method (RIM, Doignon et al. 2004): the
+``i``-th candidate of the modal ranking is inserted at position ``j <= i`` of
+the partial ranking with probability proportional to ``exp(-θ (i - j))``,
+which yields exact Mallows samples in O(n^2) per ranking.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import DataGenerationError
+
+__all__ = [
+    "sample_mallows_ranking",
+    "sample_mallows",
+    "expected_kendall_distance",
+    "mallows_normalization",
+]
+
+
+def _insertion_probabilities(i: int, theta: float) -> np.ndarray:
+    """Insertion probabilities for the ``i``-th candidate (positions ``0..i``).
+
+    Position ``j`` (0 = top of the partial ranking) displaces ``i - j``
+    already-inserted candidates, contributing ``i - j`` pairwise disagreements
+    with the modal ranking, hence weight ``exp(-θ (i - j))``.
+    """
+    displacements = i - np.arange(i + 1)
+    weights = np.exp(-theta * displacements)
+    return weights / weights.sum()
+
+
+def sample_mallows_ranking(
+    modal: Ranking, theta: float, rng: np.random.Generator
+) -> Ranking:
+    """Draw one ranking from the Mallows distribution centred on ``modal``."""
+    if theta < 0:
+        raise DataGenerationError(f"theta must be non-negative, got {theta}")
+    n = modal.n_candidates
+    partial: list[int] = []
+    for i in range(n):
+        candidate = modal.candidate_at(i)
+        probabilities = _insertion_probabilities(i, theta)
+        position = int(rng.choice(i + 1, p=probabilities))
+        partial.insert(position, candidate)
+    return Ranking(np.asarray(partial, dtype=np.int64), validate=False)
+
+
+def sample_mallows(
+    modal: Ranking,
+    theta: float,
+    n_rankings: int,
+    rng: np.random.Generator | int | None = None,
+) -> RankingSet:
+    """Draw a :class:`RankingSet` of ``n_rankings`` Mallows samples.
+
+    Parameters
+    ----------
+    modal:
+        The modal (location) ranking ``σ``.
+    theta:
+        Spread parameter ``θ >= 0``; 0 gives uniformly random rankings.
+    n_rankings:
+        Number of base rankings ``|R|`` to draw.
+    rng:
+        A numpy random generator, an integer seed, or ``None`` for a fresh
+        generator.
+    """
+    if n_rankings <= 0:
+        raise DataGenerationError(f"n_rankings must be positive, got {n_rankings}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    rankings = [sample_mallows_ranking(modal, theta, rng) for _ in range(n_rankings)]
+    labels = [f"mallows-{index + 1}" for index in range(n_rankings)]
+    return RankingSet(rankings, labels=labels)
+
+
+def mallows_normalization(n_candidates: int, theta: float) -> float:
+    """Closed-form normalisation constant ``ψ(θ)`` of the Mallows model.
+
+    ``ψ(θ) = prod_{i=1}^{n} (1 - exp(-i θ)) / (1 - exp(-θ))`` for ``θ > 0``;
+    for ``θ = 0`` it is ``n!``.
+    """
+    if theta < 0:
+        raise DataGenerationError(f"theta must be non-negative, got {theta}")
+    if theta == 0:
+        return float(math.factorial(n_candidates)) if n_candidates < 171 else float("inf")
+    i = np.arange(1, n_candidates + 1)
+    return float(np.prod((1.0 - np.exp(-i * theta)) / (1.0 - np.exp(-theta))))
+
+
+def expected_kendall_distance(n_candidates: int, theta: float) -> float:
+    """Expected Kendall tau distance of a Mallows sample from the modal ranking.
+
+    Uses the classic closed form
+    ``E[d] = n e^{-θ} / (1 - e^{-θ}) - sum_{i=1}^{n} i e^{-iθ} / (1 - e^{-iθ})``
+    for ``θ > 0``; for ``θ = 0`` it is the uniform expectation
+    ``n (n - 1) / 4``.
+    """
+    if theta < 0:
+        raise DataGenerationError(f"theta must be non-negative, got {theta}")
+    n = n_candidates
+    if theta == 0:
+        return n * (n - 1) / 4.0
+    exp_theta = np.exp(-theta)
+    first = n * exp_theta / (1.0 - exp_theta)
+    i = np.arange(1, n + 1)
+    exp_i = np.exp(-i * theta)
+    second = float(np.sum(i * exp_i / (1.0 - exp_i)))
+    return float(first - second)

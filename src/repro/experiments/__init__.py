@@ -1,0 +1,71 @@
+"""Experiment harness: one module per table / figure of the MANI-Rank paper.
+
+Each module exposes ``run(scale="ci" | "paper", ...) -> ExperimentResult``.
+The registry below maps experiment identifiers (as used by the CLI and the
+benchmark suite) to those ``run`` functions.
+"""
+
+from collections.abc import Callable
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.harness import (
+    DEFAULT_THETAS,
+    SCALES,
+    evaluate_method,
+    theta_sweep_datasets,
+)
+from repro.experiments.reporting import ExperimentResult, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "evaluate_method",
+    "theta_sweep_datasets",
+    "DEFAULT_THETAS",
+    "SCALES",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+]
+
+#: Registry of experiment identifiers -> (run function, one-line description).
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "table1": (table1.run, "Mallows dataset fairness profiles (Table I)"),
+    "figure3": (figure3.run, "Group-fairness constraint formulations (Figure 3)"),
+    "figure4": (figure4.run, "MFCR methods vs baselines on Low-Fair (Figure 4)"),
+    "figure5": (figure5.run, "Price of Fairness analysis (Figure 5)"),
+    "figure6": (figure6.run, "Scalability in number of base rankings (Figure 6)"),
+    "table2": (table2.run, "Fair-Borda ranker scalability (Table II)"),
+    "figure7": (figure7.run, "Scalability in number of candidates (Figure 7)"),
+    "table3": (table3.run, "Fair-Borda candidate scalability (Table III)"),
+    "table4": (table4.run, "Exam merit-scholarship case study (Table IV)"),
+    "table5": (table5.run, "CSRankings case study (Table V, appendix)"),
+}
+
+
+def available_experiments() -> dict[str, str]:
+    """Mapping of experiment id -> description."""
+    return {name: description for name, (_, description) in EXPERIMENTS.items()}
+
+
+def run_experiment(name: str, **kwargs: object) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``run_experiment("figure4")``)."""
+    key = name.strip().lower()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    runner, _ = EXPERIMENTS[key]
+    return runner(**kwargs)  # type: ignore[arg-type]

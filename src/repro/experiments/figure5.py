@@ -1,0 +1,133 @@
+"""Figure 5 — Price of Fairness analysis.
+
+Two panels (Section IV-C):
+
+* **Left**: PoF of Fair-Kemeny as a function of θ for the Low/Medium/High-Fair
+  datasets at Δ = 0.1.  Expected shape: the Low-Fair modal ranking costs the
+  most; with an unfair modal ranking PoF *increases* with consensus strength,
+  while for fairer modal rankings θ matters little.
+* **Right**: PoF as a function of Δ (0.1 … 0.5) on the Low-Fair dataset at
+  θ = 0.6 for the four MFCR methods plus Correct-Fairest-Perm.  Expected
+  shape: a steep inverse relationship — looser Δ, lower PoF.
+
+PoF for a seeded method is the PD-loss gap to its own fairness-unaware seed;
+for Fair-Kemeny it is the gap to the unconstrained Kemeny consensus of the
+same base rankings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datagen.attributes import paper_mallows_table, small_mallows_table
+from repro.experiments.harness import (
+    DEFAULT_THETAS,
+    evaluate_method,
+    require_scale,
+    theta_sweep_datasets,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.fair.baselines import UnawareKemenyBaseline
+from repro.fair.registry import PAPER_LABELS, get_fair_method
+
+__all__ = ["run"]
+
+#: Δ sweep of the right panel.
+DEFAULT_DELTAS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+_SCALE_PARAMETERS = {
+    "paper": {
+        "table": lambda: paper_mallows_table(group_size=6),
+        "n_rankings": 150,
+        "profiles": ("low", "medium", "high"),
+        "delta_methods": ("A1", "A2", "A3", "A4", "B4"),
+    },
+    "ci": {
+        "table": lambda: small_mallows_table(group_size=2),
+        "n_rankings": 25,
+        "profiles": ("low", "medium"),
+        "delta_methods": ("A1", "A3", "B4"),
+    },
+}
+
+
+def run(
+    scale: str = "ci",
+    delta: float = 0.1,
+    thetas: Sequence[float] | None = None,
+    deltas: Sequence[float] | None = None,
+    theta_for_delta_sweep: float = 0.6,
+    seed: int = 2022,
+) -> ExperimentResult:
+    """Reproduce Figure 5: PoF vs θ (left panel) and PoF vs Δ (right panel)."""
+    scale = require_scale(scale)
+    parameters = _SCALE_PARAMETERS[scale]
+    thetas = tuple(thetas) if thetas is not None else DEFAULT_THETAS
+    deltas = tuple(deltas) if deltas is not None else DEFAULT_DELTAS
+    table = parameters["table"]()
+    result = ExperimentResult(
+        experiment="figure5",
+        title="Figure 5: Price of Fairness vs theta (Fair-Kemeny) and vs delta (all methods)",
+        parameters={
+            "scale": scale,
+            "n_candidates": table.n_candidates,
+            "n_rankings": parameters["n_rankings"],
+            "delta": delta,
+            "thetas": list(thetas),
+            "deltas": list(deltas),
+            "theta_for_delta_sweep": theta_for_delta_sweep,
+            "seed": seed,
+        },
+    )
+
+    # Left panel: Fair-Kemeny PoF vs theta per dataset profile.
+    unaware = UnawareKemenyBaseline()
+    for profile in parameters["profiles"]:
+        datasets = theta_sweep_datasets(
+            table, profile, thetas, parameters["n_rankings"], seed=seed
+        )
+        for dataset in datasets:
+            reference = unaware.aggregate(dataset.rankings, table, delta)
+            evaluation = evaluate_method(
+                get_fair_method("A1"),
+                dataset.rankings,
+                table,
+                delta,
+                reference_unaware=reference,
+            )
+            result.add(
+                panel="theta-sweep",
+                dataset=f"{profile.capitalize()}-Fair",
+                theta=dataset.theta,
+                method="(A1) Fair-Kemeny",
+                PoF=evaluation.price_of_fairness,
+                pd_loss=evaluation.pd_loss,
+            )
+
+    # Right panel: PoF vs delta on the Low-Fair dataset at fixed theta.
+    low_datasets = theta_sweep_datasets(
+        table, "low", (theta_for_delta_sweep,), parameters["n_rankings"], seed=seed
+    )
+    low = low_datasets[0]
+    kemeny_reference = unaware.aggregate(low.rankings, table, delta)
+    for sweep_delta in deltas:
+        for label in parameters["delta_methods"]:
+            method = get_fair_method(label)
+            reference = kemeny_reference if label.upper() == "A1" else None
+            evaluation = evaluate_method(
+                method, low.rankings, table, sweep_delta, reference_unaware=reference
+            )
+            result.add(
+                panel="delta-sweep",
+                dataset="Low-Fair",
+                theta=theta_for_delta_sweep,
+                delta=sweep_delta,
+                method=f"({label}) {PAPER_LABELS.get(label.upper(), evaluation.method)}",
+                PoF=evaluation.price_of_fairness,
+                pd_loss=evaluation.pd_loss,
+            )
+    result.notes.append(
+        "PoF is measured against each method's own fairness-unaware seed "
+        "consensus (unconstrained Kemeny for Fair-Kemeny)."
+    )
+    return result

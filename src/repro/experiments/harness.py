@@ -1,0 +1,169 @@
+"""Shared machinery for the paper-reproduction experiments.
+
+The experiment modules (one per paper table / figure) share three things:
+
+* a *scale* preset — ``"ci"`` for the sizes exercised by the automated
+  benchmark suite, ``"paper"`` for sizes matching the publication (larger and
+  slower, in particular for the exact-ILP methods where the paper used
+  CPLEX); every module documents its own per-scale parameters;
+* :func:`evaluate_method` — run one fair method on one dataset and collect
+  fairness, representation, and runtime measurements in a flat record;
+* :func:`theta_sweep_datasets` — build the Mallows datasets for a θ sweep
+  with a fairness-controlled modal ranking (the Section IV-A methodology).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.datagen.fair_modal import MallowsFairnessDataset, generate_mallows_dataset
+from repro.exceptions import ExperimentError
+from repro.fair.base import FairRankAggregator
+from repro.fairness.parity import parity_scores
+from repro.fairness.pd_loss import pd_loss, price_of_fairness
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = [
+    "SCALES",
+    "require_scale",
+    "MethodEvaluation",
+    "evaluate_method",
+    "theta_sweep_datasets",
+    "DEFAULT_THETAS",
+]
+
+#: Supported scale presets.
+SCALES = ("ci", "paper")
+
+#: θ values swept by the synthetic experiments (Figures 3–5).
+DEFAULT_THETAS = (0.2, 0.4, 0.6, 0.8)
+
+
+def require_scale(scale: str) -> str:
+    """Validate a scale preset name and return it normalised."""
+    key = scale.strip().lower()
+    if key not in SCALES:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; expected one of {', '.join(SCALES)}"
+        )
+    return key
+
+
+@dataclass(frozen=True)
+class MethodEvaluation:
+    """Measurements of one fair method on one dataset."""
+
+    method: str
+    ranking: Ranking
+    parity: dict[str, float]
+    pd_loss: float
+    price_of_fairness: float | None
+    runtime_seconds: float
+
+
+def evaluate_method(
+    method: FairRankAggregator,
+    rankings: RankingSet,
+    table: CandidateTable,
+    delta: FairnessThresholds | float | Mapping[str, float],
+    reference_unaware: Ranking | None = None,
+) -> MethodEvaluation:
+    """Run ``method`` and measure fairness, PD loss, PoF, and wall-clock runtime.
+
+    Parameters
+    ----------
+    reference_unaware:
+        Fairness-unaware consensus used for the Price of Fairness.  When
+        omitted, the method's own seed consensus (if it reports one) is used;
+        methods without a seed report ``None``.
+    """
+    start = time.perf_counter()
+    result = method.aggregate_with_diagnostics(rankings, table, delta)
+    elapsed = time.perf_counter() - start
+    baseline = reference_unaware if reference_unaware is not None else result.unaware_ranking
+    pof = (
+        price_of_fairness(rankings, result.ranking, baseline)
+        if baseline is not None
+        else None
+    )
+    return MethodEvaluation(
+        method=method.name,
+        ranking=result.ranking,
+        parity=parity_scores(result.ranking, table),
+        pd_loss=pd_loss(rankings, result.ranking),
+        price_of_fairness=pof,
+        runtime_seconds=elapsed,
+    )
+
+
+def theta_sweep_datasets(
+    table: CandidateTable,
+    profile: str | Mapping[str, float],
+    thetas: Sequence[float],
+    n_rankings: int,
+    seed: int,
+    name: str | None = None,
+) -> list[MallowsFairnessDataset]:
+    """One Mallows dataset per θ value, all sharing the same modal ranking.
+
+    The modal ranking is built once (from ``seed``) so the sweep isolates the
+    effect of consensus strength; each θ gets an independent sampling stream
+    derived from the same seed sequence.
+    """
+    datasets: list[MallowsFairnessDataset] = []
+    seed_sequence = np.random.SeedSequence(seed)
+    children = seed_sequence.spawn(len(thetas) + 1)
+    modal_rng = np.random.default_rng(children[0])
+    base = generate_mallows_dataset(
+        table, profile, theta=float(thetas[0]), n_rankings=n_rankings,
+        rng=modal_rng, name=name,
+    )
+    datasets.append(base)
+    for index, theta in enumerate(thetas[1:], start=1):
+        rng = np.random.default_rng(children[index])
+        from repro.datagen.mallows import sample_mallows  # local import to avoid cycle
+
+        rankings = sample_mallows(base.modal, float(theta), n_rankings, rng=rng)
+        datasets.append(
+            MallowsFairnessDataset(
+                name=base.name,
+                table=table,
+                modal=base.modal,
+                theta=float(theta),
+                rankings=rankings,
+                modal_parity=base.modal_parity,
+            )
+        )
+    return datasets
+
+
+def record_from_evaluation(
+    evaluation: MethodEvaluation,
+    table: CandidateTable,
+    **extra: object,
+) -> dict[str, object]:
+    """Flatten a :class:`MethodEvaluation` into an experiment record."""
+    record: dict[str, object] = dict(extra)
+    record["method"] = evaluation.method
+    record["pd_loss"] = evaluation.pd_loss
+    for entity, score in evaluation.parity.items():
+        label = "IRP" if entity == table.INTERSECTION else f"ARP {entity}"
+        record[label] = score
+    if evaluation.price_of_fairness is not None:
+        record["PoF"] = evaluation.price_of_fairness
+    record["runtime_s"] = evaluation.runtime_seconds
+    return record
+
+
+def methods_by_label(labels: Iterable[str]) -> dict[str, FairRankAggregator]:
+    """Instantiate fair methods for the given paper labels (A1–B4) or names."""
+    from repro.fair.registry import get_fair_method  # local import to avoid cycle
+
+    return {label: get_fair_method(label) for label in labels}

@@ -1,0 +1,143 @@
+"""Result containers and ASCII reporting for the experiment harness.
+
+Every experiment module returns an :class:`ExperimentResult`: a named list of
+row dictionaries plus the parameters the experiment ran with.  The container
+renders itself as an aligned text table (the reproduction's substitute for the
+paper's plots — each figure becomes the printed data series behind it) and can
+be written to JSON for archival.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.io.serialization import dump_json, to_jsonable
+
+__all__ = ["ExperimentResult", "format_cell", "render_table"]
+
+
+def format_cell(value: object, digits: int = 3) -> str:
+    """Format one table cell: floats get fixed decimals, everything else ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    records: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    digits: int = 3,
+) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table."""
+    if not records:
+        return "(no rows)"
+    if columns is None:
+        seen: dict[str, None] = {}
+        for record in records:
+            for key in record:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    rows = [[format_cell(record.get(column, ""), digits) for column in columns] for record in records]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "-" * len(header)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment (one paper table or figure).
+
+    Attributes
+    ----------
+    experiment:
+        Experiment identifier, e.g. ``"figure4"``.
+    title:
+        Human-readable title matching the paper's caption.
+    parameters:
+        The workload parameters the experiment ran with (θ values, Δ, sizes,
+        scale preset, seed, ...).
+    records:
+        One dictionary per reported row / data point.
+    notes:
+        Free-form remarks, e.g. documented deviations from the paper's setup.
+    """
+
+    experiment: str
+    title: str
+    parameters: dict[str, object] = field(default_factory=dict)
+    records: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **record: object) -> None:
+        """Append one result row."""
+        self.records.append(dict(record))
+
+    def extend(self, records: Iterable[Mapping[str, object]]) -> None:
+        """Append many result rows."""
+        for record in records:
+            self.records.append(dict(record))
+
+    def columns(self) -> list[str]:
+        """Union of record keys, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            for key in record:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def filtered(self, **criteria: object) -> list[dict[str, object]]:
+        """Return the records whose fields equal every given criterion."""
+        return [
+            record
+            for record in self.records
+            if all(record.get(key) == value for key, value in criteria.items())
+        ]
+
+    def series(self, x: str, y: str, **criteria: object) -> list[tuple[object, object]]:
+        """Extract an (x, y) data series from the records matching ``criteria``."""
+        return [(record[x], record[y]) for record in self.filtered(**criteria)]
+
+    def to_text(self, digits: int = 3) -> str:
+        """Render the full result (title, parameters, rows, notes) as text."""
+        lines = [self.title, "=" * len(self.title)]
+        if self.parameters:
+            lines.append(
+                "parameters: "
+                + ", ".join(f"{key}={value}" for key, value in self.parameters.items())
+            )
+        lines.append("")
+        lines.append(render_table(self.records, self.columns(), digits=digits))
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe dictionary representation."""
+        return to_jsonable(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "parameters": self.parameters,
+                "records": self.records,
+                "notes": self.notes,
+            }
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the result to ``path`` as JSON."""
+        dump_json(self.to_dict(), path)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

@@ -1,0 +1,80 @@
+"""Table IV — student merit-scholarship case study.
+
+Section IV-F builds three base rankings of 200 students (one per exam subject:
+math, reading, writing) over a candidate table with Gender (2 values), Race
+(5 values) and Lunch (2 values; whether the student receives subsidised
+lunch).  The paper reports, for each base ranking, the Kemeny consensus, and
+each fair method at Δ = 0.05: the FPR of every group, the ARP of every
+attribute, and the IRP.
+
+Reproduced shape: the base rankings and Kemeny consensus are far from parity
+(Lunch ARP ≈ 0.2–0.45, large NatHawaii disadvantage, IRP ≈ 0.5), while every
+fair method brings all ARP and IRP at or below 0.05.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datagen.exams import generate_exam_dataset
+from repro.experiments.harness import require_scale
+from repro.experiments.reporting import ExperimentResult
+from repro.fair.registry import get_fair_method
+from repro.fairness.report import fairness_row
+
+__all__ = ["run"]
+
+_SCALE_PARAMETERS = {
+    "paper": {
+        "n_students": 200,
+        "methods": ("B1", "A1", "A2", "A3", "A4"),
+    },
+    "ci": {
+        "n_students": 80,
+        "methods": ("B1", "A2", "A3", "A4"),
+    },
+}
+
+
+def run(
+    scale: str = "ci",
+    delta: float = 0.05,
+    seed: int = 2022,
+    methods: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Reproduce Table IV: group FPR / ARP / IRP for base rankings, Kemeny, and fair methods."""
+    scale = require_scale(scale)
+    parameters = _SCALE_PARAMETERS[scale]
+    labels = tuple(methods) if methods is not None else parameters["methods"]
+    dataset = generate_exam_dataset(parameters["n_students"], seed=seed)
+    result = ExperimentResult(
+        experiment="table4",
+        title="Table IV: exam case study (merit scholarships)",
+        parameters={
+            "scale": scale,
+            "n_students": parameters["n_students"],
+            "delta": delta,
+            "seed": seed,
+            "methods": list(labels),
+        },
+    )
+    # Base rankings (one per exam subject).
+    for label, ranking in zip(dataset.rankings.labels, dataset.rankings):
+        result.add(ranking=label, **fairness_row(ranking, dataset.table))
+    # Consensus methods.
+    for label in labels:
+        method = get_fair_method(label)
+        consensus = method.aggregate(dataset.rankings, dataset.table, delta)
+        result.add(ranking=method.name, **fairness_row(consensus, dataset.table))
+    result.notes.append(
+        "The exam dataset is a synthetic re-creation of the public generator "
+        "used by the paper (see DESIGN.md); the group-bias structure (Lunch "
+        "dominant, NatHawaii disadvantaged, subject-dependent gender gaps) "
+        "matches Table IV."
+    )
+    if scale == "ci":
+        result.notes.append(
+            "ci scale uses 80 students and skips Fair-Kemeny; scale='paper' "
+            "runs the full 200-student study with every method."
+        )
+    return result

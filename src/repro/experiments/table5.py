@@ -1,0 +1,86 @@
+"""Table V — CSRankings 20-year consensus case study (paper appendix).
+
+The appendix aggregates 21 yearly rankings (2000–2020) of 65 US computer
+science departments described by Location (Northeast / Midwest / West /
+South) and Type (Private / Public).  The yearly rankings favour Northeast and
+Private departments; Kemeny amplifies the bias (Location ARP ≈ 0.48,
+IRP ≈ 0.57) and the fair methods at Δ = 0.05 remove it.
+
+This experiment reports the per-group FPR, per-attribute ARP and IRP of every
+yearly base ranking, the Kemeny consensus, and each fair method, in the exact
+layout of Table V.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datagen.csrankings import generate_csrankings_dataset
+from repro.experiments.harness import require_scale
+from repro.experiments.reporting import ExperimentResult
+from repro.fair.registry import get_fair_method
+from repro.fairness.report import fairness_row
+
+__all__ = ["run"]
+
+_SCALE_PARAMETERS = {
+    "paper": {
+        "n_departments": 65,
+        "first_year": 2000,
+        "last_year": 2020,
+        "methods": ("B1", "A1", "A2", "A3", "A4"),
+    },
+    "ci": {
+        "n_departments": 40,
+        "first_year": 2010,
+        "last_year": 2020,
+        "methods": ("B1", "A2", "A3", "A4"),
+    },
+}
+
+
+def run(
+    scale: str = "ci",
+    delta: float = 0.05,
+    seed: int = 41,
+    methods: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Reproduce Table V: group FPR / ARP / IRP for yearly rankings, Kemeny, and fair methods."""
+    scale = require_scale(scale)
+    parameters = _SCALE_PARAMETERS[scale]
+    labels = tuple(methods) if methods is not None else parameters["methods"]
+    dataset = generate_csrankings_dataset(
+        n_departments=parameters["n_departments"],
+        first_year=parameters["first_year"],
+        last_year=parameters["last_year"],
+        seed=seed,
+    )
+    result = ExperimentResult(
+        experiment="table5",
+        title="Table V: CSRankings 20-year consensus case study",
+        parameters={
+            "scale": scale,
+            "n_departments": parameters["n_departments"],
+            "years": f"{parameters['first_year']}-{parameters['last_year']}",
+            "delta": delta,
+            "seed": seed,
+            "methods": list(labels),
+        },
+    )
+    for label, ranking in zip(dataset.rankings.labels, dataset.rankings):
+        result.add(ranking=label, **fairness_row(ranking, dataset.table))
+    for label in labels:
+        method = get_fair_method(label)
+        consensus = method.aggregate(dataset.rankings, dataset.table, delta)
+        result.add(ranking=method.name, **fairness_row(consensus, dataset.table))
+    result.notes.append(
+        "The department data is a synthetic re-creation of the CSRankings "
+        "scrape (see DESIGN.md) with a persistent Northeast / Private "
+        "advantage; the bias profile of the base rankings matches Table V."
+    )
+    if scale == "ci":
+        result.notes.append(
+            "ci scale uses 40 departments over 2010-2020 and skips "
+            "Fair-Kemeny; scale='paper' runs the full 65-department study."
+        )
+    return result

@@ -1,0 +1,116 @@
+"""Abstract interface for fair (MFCR) consensus ranking methods.
+
+A fair aggregator consumes the base rankings *and* the candidate table with
+its protected attributes, plus the desired fairness threshold ``Δ``, and
+produces a consensus ranking satisfying the MANI-Rank criteria (Definition 7)
+while keeping PD loss low (Definition 10, the MFCR problem).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import AggregationError
+from repro.fairness.parity import mani_rank_violations
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = ["FairRankAggregator", "FairAggregationResult"]
+
+
+@dataclass(frozen=True)
+class FairAggregationResult:
+    """A fair consensus ranking together with method metadata.
+
+    Attributes
+    ----------
+    ranking:
+        The fair consensus ranking ``πC*``.
+    method:
+        Name of the method that produced it.
+    unaware_ranking:
+        The fairness-unaware consensus the method started from (when the
+        method has such a seed); used to compute the Price of Fairness.
+    diagnostics:
+        Method statistics such as number of Make-MR-Fair swaps or ILP rounds.
+    """
+
+    ranking: Ranking
+    method: str
+    unaware_ranking: Ranking | None = None
+    diagnostics: dict[str, object] = field(default_factory=dict)
+
+
+class FairRankAggregator(ABC):
+    """Base class for MFCR solutions and fairness-aware baselines."""
+
+    #: Human-readable method name; subclasses override.
+    name: str = "fair-aggregator"
+
+    #: Whether the method guarantees the MANI-Rank criteria for any delta.
+    guarantees_mani_rank: bool = True
+
+    def aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds | float | Mapping[str, float],
+    ) -> Ranking:
+        """Return the fair consensus ranking."""
+        return self.aggregate_with_diagnostics(rankings, table, delta).ranking
+
+    def aggregate_with_diagnostics(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds | float | Mapping[str, float],
+    ) -> FairAggregationResult:
+        """Return the fair consensus ranking plus diagnostics."""
+        if not isinstance(rankings, RankingSet):
+            raise AggregationError(
+                f"{self.name} expects a RankingSet, got {type(rankings).__name__}"
+            )
+        if not isinstance(table, CandidateTable):
+            raise AggregationError(
+                f"{self.name} expects a CandidateTable, got {type(table).__name__}"
+            )
+        if rankings.n_candidates != table.n_candidates:
+            raise AggregationError(
+                "base rankings and candidate table cover different universes: "
+                f"{rankings.n_candidates} vs {table.n_candidates} candidates"
+            )
+        thresholds = FairnessThresholds.coerce(delta)
+        result = self._aggregate(rankings, table, thresholds)
+        if self.guarantees_mani_rank:
+            violations = mani_rank_violations(result.ranking, table, thresholds)
+            if violations:
+                raise AggregationError(
+                    f"{self.name} produced a ranking violating MANI-Rank for "
+                    f"entities {sorted(violations)} at delta="
+                    f"{thresholds.as_mapping(table)}"
+                )
+        return result
+
+    @abstractmethod
+    def _aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds,
+    ) -> FairAggregationResult:
+        """Produce the fair consensus ranking (implemented by subclasses)."""
+
+    def __call__(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds | float | Mapping[str, float],
+    ) -> Ranking:
+        return self.aggregate(rankings, table, delta)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,173 @@
+"""Fairness-aware baseline methods compared against the MFCR solutions.
+
+Section IV-B of the paper evaluates the proposed methods (A1–A4) against four
+baselines (B1–B4):
+
+* **B1 Kemeny** — plain fairness-unaware Kemeny (lives in
+  :mod:`repro.aggregation.kemeny`; wrapped here so it exposes the fair-method
+  interface used by the experiment harness).
+* **B2 Kemeny-Weighted** — orders the base rankings from least to most fair
+  and runs weighted Kemeny with the fairest ranking weighted ``|R|`` and the
+  least fair weighted ``1``.
+* **B3 Pick-Fairest-Perm** — returns the fairest base ranking (a fairness
+  variant of Pick-A-Perm).
+* **B4 Correct-Fairest-Perm** — corrects the fairest base ranking with
+  Make-MR-Fair so it meets ``Δ``.
+
+Only B4 guarantees the MANI-Rank criteria; B1–B3 are included to show why a
+desired level of fairness has to be enforced explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.kemeny import KemenyAggregator
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.fair.base import FairAggregationResult, FairRankAggregator
+from repro.fair.make_mr_fair import make_mr_fair
+from repro.fairness.parity import parity_scores
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = [
+    "unfairness_score",
+    "rank_base_rankings_by_fairness",
+    "UnawareKemenyBaseline",
+    "KemenyWeightedBaseline",
+    "PickFairestPermBaseline",
+    "CorrectFairestPermBaseline",
+]
+
+
+def unfairness_score(ranking: Ranking, table: CandidateTable) -> float:
+    """Scalar unfairness of a ranking: the worst ARP/IRP over all entities.
+
+    Used to order base rankings from least to most fair for the
+    Kemeny-Weighted and Pick-Fairest-Perm baselines.
+    """
+    return max(parity_scores(ranking, table).values())
+
+
+def rank_base_rankings_by_fairness(
+    rankings: RankingSet, table: CandidateTable
+) -> list[int]:
+    """Indexes of the base rankings ordered from least fair to most fair."""
+    scores = [unfairness_score(ranking, table) for ranking in rankings]
+    return sorted(range(len(scores)), key=lambda index: (-scores[index], index))
+
+
+class UnawareKemenyBaseline(FairRankAggregator):
+    """B1: plain Kemeny, ignoring fairness entirely (reference point)."""
+
+    name = "Kemeny"
+    guarantees_mani_rank = False
+
+    def __init__(self, **kemeny_kwargs: object) -> None:
+        self._aggregator = KemenyAggregator(**kemeny_kwargs)  # type: ignore[arg-type]
+
+    def _aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds,
+    ) -> FairAggregationResult:
+        result = self._aggregator.aggregate_with_diagnostics(rankings)
+        return FairAggregationResult(
+            ranking=result.ranking,
+            method=self.name,
+            unaware_ranking=result.ranking,
+            diagnostics=dict(result.diagnostics),
+        )
+
+
+class KemenyWeightedBaseline(FairRankAggregator):
+    """B2: weighted Kemeny with weights increasing from the least to the most fair ranking.
+
+    The least fair base ranking receives weight 1 and the fairest receives
+    weight ``|R|``; intermediate rankings receive the intermediate integer
+    weights.  Fairness of the output is *not* guaranteed.
+    """
+
+    name = "Kemeny-Weighted"
+    guarantees_mani_rank = False
+
+    def __init__(self, **kemeny_kwargs: object) -> None:
+        self._kemeny_kwargs = dict(kemeny_kwargs)
+
+    def _aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds,
+    ) -> FairAggregationResult:
+        order = rank_base_rankings_by_fairness(rankings, table)
+        weights = np.empty(rankings.n_rankings, dtype=float)
+        # order[0] is the least fair -> weight 1; order[-1] the fairest -> |R|.
+        for weight, index in enumerate(order, start=1):
+            weights[index] = float(weight)
+        weighted = rankings.with_weights(weights)
+        aggregator = KemenyAggregator(weighted=True, **self._kemeny_kwargs)  # type: ignore[arg-type]
+        result = aggregator.aggregate_with_diagnostics(weighted)
+        return FairAggregationResult(
+            ranking=result.ranking,
+            method=self.name,
+            unaware_ranking=result.ranking,
+            diagnostics={**result.diagnostics, "weights": weights},
+        )
+
+
+class PickFairestPermBaseline(FairRankAggregator):
+    """B3: return the fairest base ranking as the consensus."""
+
+    name = "Pick-Fairest-Perm"
+    guarantees_mani_rank = False
+
+    def _aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds,
+    ) -> FairAggregationResult:
+        order = rank_base_rankings_by_fairness(rankings, table)
+        fairest_index = order[-1]
+        ranking = rankings[fairest_index]
+        return FairAggregationResult(
+            ranking=ranking,
+            method=self.name,
+            unaware_ranking=ranking,
+            diagnostics={
+                "selected_index": fairest_index,
+                "selected_label": rankings.label_of(fairest_index),
+                "unfairness": unfairness_score(ranking, table),
+            },
+        )
+
+
+class CorrectFairestPermBaseline(FairRankAggregator):
+    """B4: correct the fairest base ranking with Make-MR-Fair until it meets ``Δ``."""
+
+    name = "Correct-Fairest-Perm"
+    guarantees_mani_rank = True
+
+    def _aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds,
+    ) -> FairAggregationResult:
+        order = rank_base_rankings_by_fairness(rankings, table)
+        fairest_index = order[-1]
+        seed = rankings[fairest_index]
+        correction = make_mr_fair(seed, table, delta)
+        return FairAggregationResult(
+            ranking=correction.ranking,
+            method=self.name,
+            unaware_ranking=seed,
+            diagnostics={
+                "selected_index": fairest_index,
+                "selected_label": rankings.label_of(fairest_index),
+                "n_swaps": correction.n_swaps,
+            },
+        )

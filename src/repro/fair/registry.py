@@ -1,0 +1,95 @@
+"""Registry of MFCR methods and baselines under the paper's labels.
+
+The experimental section labels the methods A1–A4 (the proposed MFCR
+solutions) and B1–B4 (baselines).  The registry lets the experiment harness,
+CLI, and examples instantiate any method from its paper label or plain name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import AggregationError
+from repro.fair.base import FairRankAggregator
+from repro.fair.baselines import (
+    CorrectFairestPermBaseline,
+    KemenyWeightedBaseline,
+    PickFairestPermBaseline,
+    UnawareKemenyBaseline,
+)
+from repro.fair.fair_kemeny import FairKemenyAggregator
+from repro.fair.seeded import (
+    FairBordaAggregator,
+    FairCopelandAggregator,
+    FairFootruleAggregator,
+    FairMarkovChainAggregator,
+    FairRankedPairsAggregator,
+    FairSchulzeAggregator,
+)
+
+__all__ = [
+    "PAPER_LABELS",
+    "available_fair_methods",
+    "get_fair_method",
+    "proposed_methods",
+    "baseline_methods",
+]
+
+#: Mapping from the paper's experiment labels to method display names.
+PAPER_LABELS: dict[str, str] = {
+    "A1": "Fair-Kemeny",
+    "A2": "Fair-Schulze",
+    "A3": "Fair-Borda",
+    "A4": "Fair-Copeland",
+    "B1": "Kemeny",
+    "B2": "Kemeny-Weighted",
+    "B3": "Pick-Fairest-Perm",
+    "B4": "Correct-Fairest-Perm",
+}
+
+_FACTORIES: dict[str, Callable[[], FairRankAggregator]] = {
+    "fair-kemeny": FairKemenyAggregator,
+    "fair-schulze": FairSchulzeAggregator,
+    "fair-borda": FairBordaAggregator,
+    "fair-copeland": FairCopelandAggregator,
+    "fair-footrule": FairFootruleAggregator,
+    "fair-mc4": FairMarkovChainAggregator,
+    "fair-ranked-pairs": FairRankedPairsAggregator,
+    "kemeny": UnawareKemenyBaseline,
+    "kemeny-weighted": KemenyWeightedBaseline,
+    "pick-fairest-perm": PickFairestPermBaseline,
+    "correct-fairest-perm": CorrectFairestPermBaseline,
+}
+
+
+def available_fair_methods() -> tuple[str, ...]:
+    """Names accepted by :func:`get_fair_method` (paper labels also work)."""
+    return tuple(_FACTORIES)
+
+
+def _normalise(name: str) -> str:
+    key = name.strip()
+    if key.upper() in PAPER_LABELS:
+        key = PAPER_LABELS[key.upper()]
+    return key.lower()
+
+
+def get_fair_method(name: str) -> FairRankAggregator:
+    """Instantiate an MFCR method or baseline by name or paper label (A1–B4)."""
+    key = _normalise(name)
+    if key not in _FACTORIES:
+        raise AggregationError(
+            f"unknown fair consensus method {name!r}; available: "
+            f"{', '.join(sorted(_FACTORIES))} or labels {', '.join(PAPER_LABELS)}"
+        )
+    return _FACTORIES[key]()
+
+
+def proposed_methods() -> dict[str, FairRankAggregator]:
+    """The paper's four MFCR solutions keyed by their labels A1–A4."""
+    return {label: get_fair_method(label) for label in ("A1", "A2", "A3", "A4")}
+
+
+def baseline_methods() -> dict[str, FairRankAggregator]:
+    """The paper's four baselines keyed by their labels B1–B4."""
+    return {label: get_fair_method(label) for label in ("B1", "B2", "B3", "B4")}

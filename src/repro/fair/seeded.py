@@ -1,0 +1,120 @@
+"""Polynomial-time MFCR solutions: Fair-Copeland, Fair-Schulze, Fair-Borda.
+
+Each method (Section III-B of the paper) first produces a fairness-unaware
+consensus with a fast aggregation method — Copeland, Schulze, or Borda — and
+then corrects it with :func:`repro.fair.make_mr_fair.make_mr_fair` until the
+MANI-Rank criteria hold at the requested ``Δ``.
+
+:class:`SeededFairAggregator` is the generic "seed + Make-MR-Fair" template so
+that any :class:`~repro.aggregation.base.RankAggregator` (e.g. the footrule or
+local-search heuristics) can be made fairness-aware; the three named classes
+are the paper's methods.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.base import RankAggregator
+from repro.aggregation.borda import BordaAggregator
+from repro.aggregation.copeland import CopelandAggregator
+from repro.aggregation.footrule import FootruleAggregator
+from repro.aggregation.markov_chain import MarkovChainAggregator
+from repro.aggregation.ranked_pairs import RankedPairsAggregator
+from repro.aggregation.schulze import SchulzeAggregator
+from repro.core.candidates import CandidateTable
+from repro.core.ranking_set import RankingSet
+from repro.fair.base import FairAggregationResult, FairRankAggregator
+from repro.fair.make_mr_fair import make_mr_fair
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = [
+    "SeededFairAggregator",
+    "FairBordaAggregator",
+    "FairCopelandAggregator",
+    "FairSchulzeAggregator",
+    "FairFootruleAggregator",
+    "FairMarkovChainAggregator",
+    "FairRankedPairsAggregator",
+]
+
+
+class SeededFairAggregator(FairRankAggregator):
+    """Generic MFCR method: fairness-unaware seed consensus + Make-MR-Fair."""
+
+    def __init__(self, seed_aggregator: RankAggregator, name: str | None = None) -> None:
+        self._seed = seed_aggregator
+        self.name = name if name is not None else f"Fair-{seed_aggregator.name}"
+
+    @property
+    def seed_aggregator(self) -> RankAggregator:
+        """The fairness-unaware method producing the initial consensus."""
+        return self._seed
+
+    def _aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        delta: FairnessThresholds,
+    ) -> FairAggregationResult:
+        seed_result = self._seed.aggregate_with_diagnostics(rankings)
+        correction = make_mr_fair(seed_result.ranking, table, delta)
+        return FairAggregationResult(
+            ranking=correction.ranking,
+            method=self.name,
+            unaware_ranking=seed_result.ranking,
+            diagnostics={
+                "seed_method": self._seed.name,
+                "n_swaps": correction.n_swaps,
+                "corrected_entities": correction.corrected_entities,
+            },
+        )
+
+
+class FairBordaAggregator(SeededFairAggregator):
+    """Fair-Borda: Borda consensus corrected with Make-MR-Fair (fastest MFCR method)."""
+
+    def __init__(self) -> None:
+        super().__init__(BordaAggregator(), name="Fair-Borda")
+
+
+class FairCopelandAggregator(SeededFairAggregator):
+    """Fair-Copeland: Copeland consensus corrected with Make-MR-Fair."""
+
+    def __init__(self) -> None:
+        super().__init__(CopelandAggregator(), name="Fair-Copeland")
+
+
+class FairSchulzeAggregator(SeededFairAggregator):
+    """Fair-Schulze: Schulze consensus corrected with Make-MR-Fair."""
+
+    def __init__(self) -> None:
+        super().__init__(SchulzeAggregator(), name="Fair-Schulze")
+
+
+class FairFootruleAggregator(SeededFairAggregator):
+    """Fair-Footrule: footrule-optimal consensus corrected with Make-MR-Fair.
+
+    Not part of the paper's method family; included as an extension and used
+    by the ablation benchmarks on the choice of seed method.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(FootruleAggregator(), name="Fair-Footrule")
+
+
+class FairMarkovChainAggregator(SeededFairAggregator):
+    """Fair-MC4: Markov-chain (MC4) consensus corrected with Make-MR-Fair.
+
+    Not part of the paper's method family; included as an extension because
+    MC4 is the strongest heuristic of the web rank-aggregation line of work
+    the paper builds on.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(MarkovChainAggregator(), name="Fair-MC4")
+
+
+class FairRankedPairsAggregator(SeededFairAggregator):
+    """Fair-Ranked-Pairs: Tideman consensus corrected with Make-MR-Fair (extension)."""
+
+    def __init__(self) -> None:
+        super().__init__(RankedPairsAggregator(), name="Fair-Ranked-Pairs")

@@ -1,0 +1,36 @@
+"""MANI-Rank fairness criteria: FPR, ARP, IRP, PD loss, and Price of Fairness."""
+
+from repro.fairness.fpr import PARITY_TARGET, fpr, fpr_by_group, fpr_of_members, fpr_table, fpr_vector
+from repro.fairness.parity import (
+    ManiRankReport,
+    arp,
+    evaluate_mani_rank,
+    irp,
+    mani_rank_satisfied,
+    mani_rank_violations,
+    parity_scores,
+)
+from repro.fairness.pd_loss import pd_loss, price_of_fairness
+from repro.fairness.report import FairnessTable, fairness_row
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = [
+    "PARITY_TARGET",
+    "fpr",
+    "fpr_of_members",
+    "fpr_by_group",
+    "fpr_table",
+    "fpr_vector",
+    "arp",
+    "irp",
+    "parity_scores",
+    "mani_rank_satisfied",
+    "mani_rank_violations",
+    "evaluate_mani_rank",
+    "ManiRankReport",
+    "pd_loss",
+    "price_of_fairness",
+    "FairnessTable",
+    "fairness_row",
+    "FairnessThresholds",
+]

@@ -1,0 +1,119 @@
+"""Favored Pair Representation (FPR) — Definition 4 of the MANI-Rank paper.
+
+The FPR of a group ``G`` in a ranking ``π`` is the fraction of *mixed* pairs
+(pairs joining one member of ``G`` and one non-member) in which the member of
+``G`` is favored (ranked above the non-member)::
+
+    FPR_G(π) = favored_mixed_pairs(G, π) / (|G| * (|X| - |G|))
+
+Key properties (all verified by the test suite):
+
+* FPR is in [0, 1];
+* FPR = 1 exactly when the whole group sits at the top of the ranking;
+* FPR = 0 exactly when the group sits at the bottom;
+* FPR = 1/2 means the group receives a directly proportional share of favored
+  pair positions — the statistical-parity target — *regardless of group size*
+  or how many values the attribute takes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.candidates import CandidateTable, Group
+from repro.core.pairwise import favored_mixed_pairs, favored_mixed_pairs_by_group, mixed_pairs
+from repro.core.ranking import Ranking
+from repro.exceptions import FairnessError
+
+__all__ = [
+    "fpr",
+    "fpr_of_members",
+    "fpr_by_group",
+    "fpr_table",
+]
+
+#: Value of FPR that corresponds to perfect statistical parity for a group.
+PARITY_TARGET = 0.5
+
+
+def fpr_of_members(ranking: Ranking, members: Sequence[int]) -> float:
+    """FPR of an explicit member list in ``ranking``.
+
+    Raises
+    ------
+    FairnessError
+        If the member list is empty or covers the whole universe (the FPR is
+        undefined when there are no mixed pairs).
+    """
+    members = list(members)
+    n = ranking.n_candidates
+    denominator = mixed_pairs(len(members), n)
+    if denominator == 0:
+        raise FairnessError(
+            "FPR is undefined for a group with no mixed pairs "
+            f"(group size {len(members)} of {n} candidates)"
+        )
+    favored = favored_mixed_pairs(ranking, members)
+    return favored / denominator
+
+
+def fpr(ranking: Ranking, group: Group) -> float:
+    """FPR score of a :class:`~repro.core.candidates.Group` in ``ranking``."""
+    return fpr_of_members(ranking, group.members)
+
+
+def fpr_by_group(ranking: Ranking, table: CandidateTable, attribute: str) -> dict[str, float]:
+    """FPR of every (non-empty) group of ``attribute``, keyed by group label.
+
+    ``attribute`` may be a protected attribute name or
+    :data:`CandidateTable.INTERSECTION` for the intersectional groups.
+    Computed with a single vectorised pass over the ranking.
+    """
+    if ranking.n_candidates != table.n_candidates:
+        raise FairnessError(
+            "ranking and candidate table sizes differ: "
+            f"{ranking.n_candidates} vs {table.n_candidates}"
+        )
+    groups = table.groups(attribute)
+    if len(groups) < 2:
+        raise FairnessError(
+            f"attribute {attribute!r} has {len(groups)} non-empty group(s); "
+            "at least two are required for pairwise fairness"
+        )
+    membership = table.group_membership_array(attribute)
+    favored = favored_mixed_pairs_by_group(ranking, membership, len(groups))
+    n = table.n_candidates
+    scores: dict[str, float] = {}
+    for index, group in enumerate(groups):
+        denominator = mixed_pairs(group.size, n)
+        scores[group.label] = float(favored[index] / denominator)
+    return scores
+
+
+def fpr_table(ranking: Ranking, table: CandidateTable) -> dict[str, dict[str, float]]:
+    """FPR of every group of every fairness entity (attributes + intersection).
+
+    Returns a nested mapping ``{entity: {group label: FPR}}`` in the layout
+    used by the paper's case-study tables (Tables IV and V).
+    """
+    return {
+        entity: fpr_by_group(ranking, table, entity)
+        for entity in table.all_fairness_entities()
+    }
+
+
+def fpr_vector(ranking: Ranking, table: CandidateTable, attribute: str) -> np.ndarray:
+    """FPR scores of the groups of ``attribute`` as an array (group order)."""
+    groups = table.groups(attribute)
+    membership = table.group_membership_array(attribute)
+    favored = favored_mixed_pairs_by_group(ranking, membership, len(groups))
+    sizes = np.array([group.size for group in groups], dtype=np.int64)
+    denominators = sizes * (table.n_candidates - sizes)
+    if (denominators == 0).any():
+        raise FairnessError(
+            f"attribute {attribute!r} has a group covering all candidates; "
+            "FPR is undefined"
+        )
+    return favored / denominators

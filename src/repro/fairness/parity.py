@@ -1,0 +1,170 @@
+"""Attribute Rank Parity, Intersectional Rank Parity and the MANI-Rank check.
+
+Implements Definitions 5–7 of the paper:
+
+* ``ARP_pk(π)`` — the maximum absolute FPR gap between any two groups of the
+  protected attribute ``pk`` (Definition 5);
+* ``IRP(π)`` — the same quantity over the intersectional groups
+  (Definition 6);
+* MANI-Rank group fairness — ``ARP_pk(π) <= Δ`` for every protected attribute
+  and ``IRP(π) <= Δ`` (Definition 7).
+
+``ARP = 0`` is perfect statistical parity for the attribute; ``ARP = 1`` means
+one group occupies the very top of the ranking while another occupies the very
+bottom.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.fairness.fpr import fpr_by_group, fpr_vector
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = [
+    "arp",
+    "irp",
+    "parity_scores",
+    "mani_rank_satisfied",
+    "mani_rank_violations",
+    "ManiRankReport",
+    "evaluate_mani_rank",
+]
+
+
+def arp(ranking: Ranking, table: CandidateTable, attribute: str) -> float:
+    """Attribute Rank Parity (Definition 5) of ``attribute`` in ``ranking``.
+
+    The maximum absolute difference in FPR between any two groups of the
+    attribute.  Passing :data:`CandidateTable.INTERSECTION` computes the IRP.
+    """
+    scores = fpr_vector(ranking, table, attribute)
+    return float(scores.max() - scores.min())
+
+
+def irp(ranking: Ranking, table: CandidateTable) -> float:
+    """Intersectional Rank Parity (Definition 6) of ``ranking``.
+
+    When the table has a single protected attribute the intersection is that
+    attribute, so IRP degenerates to its ARP.
+    """
+    if len(table.attribute_names) == 1:
+        return arp(ranking, table, table.attribute_names[0])
+    return arp(ranking, table, table.INTERSECTION)
+
+
+def parity_scores(ranking: Ranking, table: CandidateTable) -> dict[str, float]:
+    """ARP for every protected attribute and IRP, keyed by entity name.
+
+    The intersection appears under :data:`CandidateTable.INTERSECTION` when
+    the table has more than one protected attribute.
+    """
+    return {
+        entity: arp(ranking, table, entity)
+        for entity in table.all_fairness_entities()
+    }
+
+
+def mani_rank_satisfied(
+    ranking: Ranking,
+    table: CandidateTable,
+    delta: FairnessThresholds | float | Mapping[str, float],
+) -> bool:
+    """Return whether ``ranking`` satisfies MANI-Rank fairness (Definition 7)."""
+    return not mani_rank_violations(ranking, table, delta)
+
+
+def mani_rank_violations(
+    ranking: Ranking,
+    table: CandidateTable,
+    delta: FairnessThresholds | float | Mapping[str, float],
+) -> dict[str, float]:
+    """Return the entities violating MANI-Rank and their parity scores.
+
+    An entity (protected attribute or intersection) is violating when its
+    ARP/IRP strictly exceeds its threshold (a small numerical tolerance is
+    applied so that scores produced by the ILP solver at exactly Δ count as
+    satisfied).
+    """
+    thresholds = FairnessThresholds.coerce(delta)
+    tolerance = 1e-9
+    violations: dict[str, float] = {}
+    for entity, score in parity_scores(ranking, table).items():
+        if score > thresholds.threshold_for(entity) + tolerance:
+            violations[entity] = score
+    return violations
+
+
+@dataclass(frozen=True)
+class ManiRankReport:
+    """Full MANI-Rank evaluation of a single ranking.
+
+    Attributes
+    ----------
+    parity:
+        ARP per protected attribute plus IRP (keyed by entity name).
+    fpr:
+        Per-entity, per-group FPR scores.
+    thresholds:
+        The thresholds the ranking was evaluated against.
+    violations:
+        Entities whose parity score exceeds their threshold.
+    """
+
+    parity: dict[str, float]
+    fpr: dict[str, dict[str, float]]
+    thresholds: dict[str, float]
+    violations: dict[str, float]
+
+    @property
+    def satisfied(self) -> bool:
+        """True when no fairness entity violates its threshold."""
+        return not self.violations
+
+    @property
+    def max_violation(self) -> float:
+        """Largest amount by which any entity exceeds its threshold (0 if fair)."""
+        if not self.violations:
+            return 0.0
+        return max(
+            score - self.thresholds[entity]
+            for entity, score in self.violations.items()
+        )
+
+    def entity_scores(self) -> list[tuple[str, float, float, bool]]:
+        """Rows of ``(entity, score, threshold, satisfied)`` for reporting."""
+        rows = []
+        for entity, score in self.parity.items():
+            threshold = self.thresholds[entity]
+            rows.append((entity, score, threshold, entity not in self.violations))
+        return rows
+
+
+def evaluate_mani_rank(
+    ranking: Ranking,
+    table: CandidateTable,
+    delta: FairnessThresholds | float | Mapping[str, float],
+) -> ManiRankReport:
+    """Evaluate MANI-Rank fairness of ``ranking`` and return a full report."""
+    thresholds = FairnessThresholds.coerce(delta)
+    parity = parity_scores(ranking, table)
+    fpr_scores = {
+        entity: fpr_by_group(ranking, table, entity)
+        for entity in table.all_fairness_entities()
+    }
+    threshold_map = thresholds.as_mapping(table)
+    tolerance = 1e-9
+    violations = {
+        entity: score
+        for entity, score in parity.items()
+        if score > threshold_map[entity] + tolerance
+    }
+    return ManiRankReport(
+        parity=parity,
+        fpr=fpr_scores,
+        thresholds=threshold_map,
+        violations=violations,
+    )

@@ -1,0 +1,117 @@
+"""Fairness reporting in the layout of the paper's case-study tables.
+
+Tables IV and V of the paper report, for each ranking (base rankings, Kemeny,
+and the fair methods), the FPR score of every group, the ARP of every
+protected attribute, and the IRP.  :class:`FairnessTable` builds exactly that
+structure from a set of labelled rankings and renders it as an ASCII table or
+as a list of row dictionaries (for CSV export or assertions in tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.fairness.fpr import fpr_by_group
+from repro.fairness.parity import parity_scores
+
+__all__ = ["FairnessTable", "fairness_row", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float the way the paper's tables do (fixed decimals)."""
+    return f"{value:.{digits}f}"
+
+
+def fairness_row(ranking: Ranking, table: CandidateTable) -> dict[str, float]:
+    """One table row: per-group FPR, per-attribute ARP, and IRP.
+
+    Keys are group labels (``"Gender=Man"``), attribute names (ARP columns),
+    and ``"IRP"``.
+    """
+    row: dict[str, float] = {}
+    parity = parity_scores(ranking, table)
+    for attribute in table.attribute_names:
+        for label, score in fpr_by_group(ranking, table, attribute).items():
+            row[label] = score
+    for attribute in table.attribute_names:
+        row[attribute] = parity[attribute]
+    if len(table.attribute_names) > 1:
+        row["IRP"] = parity[table.INTERSECTION]
+    else:
+        row["IRP"] = parity[table.attribute_names[0]]
+    return row
+
+
+@dataclass
+class FairnessTable:
+    """A collection of named rankings evaluated against one candidate table.
+
+    Build one with :meth:`from_rankings`, then render with :meth:`to_text` or
+    inspect programmatically through :attr:`rows`.
+    """
+
+    candidate_table: CandidateTable
+    row_labels: list[str]
+    rows: list[dict[str, float]]
+
+    @classmethod
+    def from_rankings(
+        cls,
+        candidate_table: CandidateTable,
+        rankings: Mapping[str, Ranking] | Sequence[tuple[str, Ranking]],
+    ) -> "FairnessTable":
+        """Evaluate every labelled ranking and assemble the table."""
+        if isinstance(rankings, Mapping):
+            items = list(rankings.items())
+        else:
+            items = list(rankings)
+        labels = [label for label, _ in items]
+        rows = [fairness_row(ranking, candidate_table) for _, ranking in items]
+        return cls(candidate_table=candidate_table, row_labels=labels, rows=rows)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names in presentation order (groups, then ARPs, then IRP)."""
+        if not self.rows:
+            return []
+        return list(self.rows[0])
+
+    def row(self, label: str) -> dict[str, float]:
+        """Return the row for ranking ``label``."""
+        index = self.row_labels.index(label)
+        return self.rows[index]
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Return rows as dictionaries including the ranking label."""
+        records: list[dict[str, object]] = []
+        for label, row in zip(self.row_labels, self.rows):
+            record: dict[str, object] = {"ranking": label}
+            record.update(row)
+            records.append(record)
+        return records
+
+    def to_text(self, digits: int = 2) -> str:
+        """Render the table as aligned ASCII text (paper Table IV/V layout)."""
+        columns = self.columns
+        header = ["Ranking", *columns]
+        body = [
+            [label, *[format_float(row[column], digits) for column in columns]]
+            for label, row in zip(self.row_labels, self.rows)
+        ]
+        widths = [
+            max(len(str(cell)) for cell in [header[i], *[line[i] for line in body]])
+            for i in range(len(header))
+        ]
+        def render(line: list[str]) -> str:
+            return "  ".join(str(cell).ljust(width) for cell, width in zip(line, widths))
+
+        separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [render(header), separator]
+        lines.extend(render(line) for line in body)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

@@ -1,0 +1,35 @@
+"""Input/output helpers: CSV and JSON serialisation of the core objects."""
+
+from repro.io.csv_io import (
+    read_candidate_table,
+    read_ranking_set,
+    write_candidate_table,
+    write_ranking_set,
+)
+from repro.io.serialization import (
+    candidate_table_from_dict,
+    candidate_table_to_dict,
+    dump_json,
+    load_json,
+    ranking_from_dict,
+    ranking_set_from_dict,
+    ranking_set_to_dict,
+    ranking_to_dict,
+    to_jsonable,
+)
+
+__all__ = [
+    "read_candidate_table",
+    "write_candidate_table",
+    "read_ranking_set",
+    "write_ranking_set",
+    "to_jsonable",
+    "ranking_to_dict",
+    "ranking_from_dict",
+    "ranking_set_to_dict",
+    "ranking_set_from_dict",
+    "candidate_table_to_dict",
+    "candidate_table_from_dict",
+    "dump_json",
+    "load_json",
+]

@@ -1,0 +1,102 @@
+"""CSV input/output for candidate tables and ranking sets.
+
+File formats
+------------
+
+Candidate tables are stored one candidate per row with a ``name`` column and
+one column per protected attribute::
+
+    name,Gender,Race
+    alice,Woman,White
+    bob,Man,Black
+
+Ranking sets are stored one base ranking per row: a ``label`` column followed
+by the candidate *names* from best to worst::
+
+    label,1,2,3
+    math,alice,bob,carol
+
+Names rather than integer ids are written so files stay meaningful when the
+table is edited; reading resolves names back to ids through the table.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "write_candidate_table",
+    "read_candidate_table",
+    "write_ranking_set",
+    "read_ranking_set",
+]
+
+
+def write_candidate_table(table: CandidateTable, path: str | Path) -> None:
+    """Write a candidate table to ``path`` as CSV (name + attribute columns)."""
+    path = Path(path)
+    fieldnames = ["name", *table.attribute_names]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in table.to_records():
+            writer.writerow(record)
+
+
+def read_candidate_table(path: str | Path) -> CandidateTable:
+    """Read a candidate table previously written by :func:`write_candidate_table`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "name" not in reader.fieldnames:
+            raise ValidationError(
+                f"{path} is not a candidate table CSV (missing 'name' column)"
+            )
+        attribute_names = [field for field in reader.fieldnames if field != "name"]
+        if not attribute_names:
+            raise ValidationError(f"{path} declares no protected attribute columns")
+        rows = list(reader)
+    if not rows:
+        raise ValidationError(f"{path} contains no candidates")
+    columns = {name: [row[name] for row in rows] for name in attribute_names}
+    names = [row["name"] for row in rows]
+    return CandidateTable(columns, names=names)
+
+
+def write_ranking_set(
+    rankings: RankingSet, table: CandidateTable, path: str | Path
+) -> None:
+    """Write a ranking set to ``path`` as CSV, one labelled ranking per row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", *range(1, rankings.n_candidates + 1)])
+        for label, ranking in zip(rankings.labels, rankings):
+            writer.writerow([label, *[table.name_of(c) for c in ranking]])
+
+
+def read_ranking_set(path: str | Path, table: CandidateTable) -> RankingSet:
+    """Read a ranking set previously written by :func:`write_ranking_set`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or header[0] != "label":
+            raise ValidationError(f"{path} is not a ranking set CSV (bad header)")
+        labels: list[str] = []
+        orders: list[list[int]] = []
+        for row in reader:
+            if not row:
+                continue
+            labels.append(row[0])
+            orders.append([table.id_of(name) for name in row[1:]])
+    if not orders:
+        raise ValidationError(f"{path} contains no rankings")
+    rankings = [Ranking(order) for order in orders]
+    return RankingSet(rankings, labels=labels)

@@ -1,0 +1,14 @@
+"""Optimization substrate: linear-ordering ILP model, MILP backend, branch and bound."""
+
+from repro.optimize.branch_and_bound import branch_and_bound_kemeny
+from repro.optimize.milp_backend import MilpSolution, solve_linear_ordering
+from repro.optimize.model import LinearConstraintSpec, LinearOrderingModel, PairVariableIndex
+
+__all__ = [
+    "LinearOrderingModel",
+    "LinearConstraintSpec",
+    "PairVariableIndex",
+    "MilpSolution",
+    "solve_linear_ordering",
+    "branch_and_bound_kemeny",
+]

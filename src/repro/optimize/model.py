@@ -1,0 +1,300 @@
+"""Linear-ordering integer-program model used by (Fair-)Kemeny.
+
+The exact Kemeny formulation (Section III-A, Equations 7–10) is a *linear
+ordering problem*: binary variables ``Y[a, b]`` indicate that candidate ``a``
+is placed above candidate ``b`` in the consensus.  The constraints
+
+* ``Y[a, b] + Y[b, a] = 1`` (antisymmetry, Equation 9) and
+* ``Y[a, b] + Y[b, c] + Y[c, a] <= 2`` (transitivity, Equation 10)
+
+force ``Y`` to encode a permutation.  We eliminate the antisymmetry constraint
+by keeping only one variable per unordered pair ``(a, b)`` with ``a < b`` and
+substituting ``Y[b, a] = 1 - Y[a, b]`` everywhere.  That halves the variable
+count and removes ``n(n-1)/2`` equality constraints.
+
+:class:`LinearOrderingModel` stores the objective and any number of extra
+linear constraints (the MANI-Rank fairness constraints of Equations 11–12 are
+added this way by :mod:`repro.fair.fair_kemeny`), and knows how to translate
+a 0/1 assignment of the pair variables back into a ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ranking import Ranking
+from repro.exceptions import SolverError, ValidationError
+
+__all__ = ["PairVariableIndex", "LinearConstraintSpec", "LinearOrderingModel"]
+
+
+class PairVariableIndex:
+    """Index mapping unordered candidate pairs ``(a, b), a < b`` to variable ids."""
+
+    def __init__(self, n_candidates: int) -> None:
+        if n_candidates < 2:
+            raise ValidationError(
+                f"a linear ordering problem needs at least 2 candidates, got {n_candidates}"
+            )
+        self._n = n_candidates
+        self._index: dict[tuple[int, int], int] = {}
+        pairs = []
+        for a in range(n_candidates):
+            for b in range(a + 1, n_candidates):
+                self._index[(a, b)] = len(pairs)
+                pairs.append((a, b))
+        self._pairs = tuple(pairs)
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of candidates in the ordering."""
+        return self._n
+
+    @property
+    def n_variables(self) -> int:
+        """Number of pair variables, ``n (n - 1) / 2``."""
+        return len(self._pairs)
+
+    @property
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        """All unordered pairs in variable order."""
+        return self._pairs
+
+    def variable(self, a: int, b: int) -> tuple[int, float, float]:
+        """Return ``(variable id, sign, offset)`` such that ``Y[a, b] = sign * x + offset``.
+
+        For ``a < b`` the variable represents ``Y[a, b]`` directly
+        (``sign=+1, offset=0``); for ``a > b`` it is the complement
+        (``sign=-1, offset=1``).
+        """
+        if a == b:
+            raise ValidationError("Y[a, a] is not a model variable")
+        if a < b:
+            return self._index[(a, b)], 1.0, 0.0
+        return self._index[(b, a)], -1.0, 1.0
+
+
+@dataclass
+class LinearConstraintSpec:
+    """A linear constraint over the model variables: ``lower <= coeffs . x <= upper``.
+
+    Coefficient keys are *model variable ids*: ids below
+    ``index.n_variables`` are binary pair variables; ids at or above it are
+    auxiliary continuous variables (added via
+    :meth:`LinearOrderingModel.add_auxiliary_variable`).
+    """
+
+    coefficients: dict[int, float]
+    lower: float
+    upper: float
+    label: str = ""
+
+
+@dataclass
+class LinearOrderingModel:
+    """Objective + constraints of a (possibly fairness-constrained) Kemeny ILP."""
+
+    index: PairVariableIndex
+    objective: np.ndarray
+    objective_constant: float = 0.0
+    extra_constraints: list[LinearConstraintSpec] = field(default_factory=list)
+    auxiliary_bounds: list[tuple[float, float]] = field(default_factory=list)
+
+    @classmethod
+    def from_precedence(cls, precedence: np.ndarray) -> "LinearOrderingModel":
+        """Build the Kemeny objective (Equation 7) from a precedence matrix ``W``.
+
+        The full objective is ``sum_{a != b} W[a, b] * Y[a, b]``.  After
+        substituting the complement variables the reduced objective over
+        ``x = Y[a, b], a < b`` is::
+
+            sum_{a < b} (W[a, b] - W[b, a]) * x_ab  +  sum_{a < b} W[b, a]
+        """
+        precedence = np.asarray(precedence, dtype=float)
+        if precedence.ndim != 2 or precedence.shape[0] != precedence.shape[1]:
+            raise ValidationError(
+                f"precedence matrix must be square, got shape {precedence.shape}"
+            )
+        n = precedence.shape[0]
+        index = PairVariableIndex(n)
+        coefficients = np.empty(index.n_variables, dtype=float)
+        constant = 0.0
+        for variable_id, (a, b) in enumerate(index.pairs):
+            coefficients[variable_id] = precedence[a, b] - precedence[b, a]
+            constant += precedence[b, a]
+        return cls(index=index, objective=coefficients, objective_constant=constant)
+
+    # ------------------------------------------------------------------
+    # constraint construction
+    # ------------------------------------------------------------------
+    @property
+    def n_auxiliary(self) -> int:
+        """Number of auxiliary continuous variables added to the model."""
+        return len(self.auxiliary_bounds)
+
+    @property
+    def n_total_variables(self) -> int:
+        """Binary pair variables plus auxiliary continuous variables."""
+        return self.index.n_variables + self.n_auxiliary
+
+    def add_auxiliary_variable(self, lower: float = 0.0, upper: float = 1.0) -> int:
+        """Add a continuous auxiliary variable and return its model variable id.
+
+        Auxiliary variables carry no objective coefficient; they exist so that
+        constraints such as the MANI-Rank min/max FPR formulation can be
+        expressed compactly.
+        """
+        self.auxiliary_bounds.append((float(lower), float(upper)))
+        return self.index.n_variables + len(self.auxiliary_bounds) - 1
+
+    def add_constraint(
+        self,
+        pair_coefficients: dict[tuple[int, int], float],
+        lower: float,
+        upper: float,
+        label: str = "",
+        auxiliary_coefficients: dict[int, float] | None = None,
+    ) -> None:
+        """Add ``lower <= sum coeff[a,b] * Y[a,b] + sum aux coeffs <= upper``.
+
+        Pair coefficients are given on the *directed* ``Y[a, b]`` variables;
+        the method performs the complement substitution internally.
+        ``auxiliary_coefficients`` is keyed by auxiliary variable ids returned
+        from :meth:`add_auxiliary_variable`.
+        """
+        coefficients: dict[int, float] = {}
+        offset = 0.0
+        for (a, b), coefficient in pair_coefficients.items():
+            variable_id, sign, constant = self.index.variable(a, b)
+            coefficients[variable_id] = coefficients.get(variable_id, 0.0) + sign * coefficient
+            offset += constant * coefficient
+        for variable_id, coefficient in (auxiliary_coefficients or {}).items():
+            if not self.index.n_variables <= variable_id < self.n_total_variables:
+                raise ValidationError(
+                    f"auxiliary variable id {variable_id} is not defined on this model"
+                )
+            coefficients[variable_id] = coefficients.get(variable_id, 0.0) + coefficient
+        self.extra_constraints.append(
+            LinearConstraintSpec(
+                coefficients=coefficients,
+                lower=lower - offset,
+                upper=upper - offset,
+                label=label,
+            )
+        )
+
+    def triangle_constraint_rows(
+        self, triples: list[tuple[int, int, int]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Build the constraint matrix rows enforcing transitivity on ``triples``.
+
+        For each triple ``a < b < c`` two inequalities are generated on the
+        reduced variables ``x_ab, x_bc, x_ac``::
+
+            x_ab + x_bc - x_ac <= 1      (a≺b and b≺c  =>  a≺c)
+            -x_ab - x_bc + x_ac <= 0     (b≺a and c≺b  =>  c≺a)
+
+        Returns COO-style ``(rows, cols, values)`` plus the per-row upper
+        bounds; lower bounds are ``-inf``.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        values: list[float] = []
+        upper: list[float] = []
+        row_id = 0
+        for a, b, c in triples:
+            x_ab, _, _ = self.index.variable(a, b)
+            x_bc, _, _ = self.index.variable(b, c)
+            x_ac, _, _ = self.index.variable(a, c)
+            rows.extend([row_id, row_id, row_id])
+            cols.extend([x_ab, x_bc, x_ac])
+            values.extend([1.0, 1.0, -1.0])
+            upper.append(1.0)
+            row_id += 1
+            rows.extend([row_id, row_id, row_id])
+            cols.extend([x_ab, x_bc, x_ac])
+            values.extend([-1.0, -1.0, 1.0])
+            upper.append(0.0)
+            row_id += 1
+        return (
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(values, dtype=float),
+            np.asarray(upper, dtype=float),
+        )
+
+    def all_triples(self) -> list[tuple[int, int, int]]:
+        """Every ordered triple ``a < b < c`` of the candidate universe."""
+        n = self.index.n_candidates
+        return [
+            (a, b, c)
+            for a in range(n)
+            for b in range(a + 1, n)
+            for c in range(b + 1, n)
+        ]
+
+    # ------------------------------------------------------------------
+    # solution handling
+    # ------------------------------------------------------------------
+    def objective_value(self, assignment: np.ndarray) -> float:
+        """Evaluate the full (unreduced) Kemeny objective for an assignment.
+
+        ``assignment`` may include trailing auxiliary-variable values; only
+        the pair-variable prefix contributes to the objective.
+        """
+        pair_assignment = assignment[: self.index.n_variables]
+        return float(self.objective @ pair_assignment + self.objective_constant)
+
+    def violated_triples(self, assignment: np.ndarray) -> list[tuple[int, int, int]]:
+        """Return triples whose transitivity constraints the 0/1 assignment violates."""
+        rounded = np.rint(assignment[: self.index.n_variables]).astype(np.int64)
+        n = self.index.n_candidates
+        # Y[a, b] for all ordered pairs from the reduced assignment.
+        prefers = np.zeros((n, n), dtype=bool)
+        for variable_id, (a, b) in enumerate(self.index.pairs):
+            if rounded[variable_id] == 1:
+                prefers[a, b] = True
+            else:
+                prefers[b, a] = True
+        violated: list[tuple[int, int, int]] = []
+        for a in range(n):
+            for b in range(a + 1, n):
+                for c in range(b + 1, n):
+                    # cycle a->b->c->a or the reverse cycle.
+                    if prefers[a, b] and prefers[b, c] and prefers[c, a]:
+                        violated.append((a, b, c))
+                    elif prefers[b, a] and prefers[c, b] and prefers[a, c]:
+                        violated.append((a, b, c))
+        return violated
+
+    def assignment_to_ranking(self, assignment: np.ndarray) -> Ranking:
+        """Convert a transitive 0/1 assignment into a :class:`Ranking`.
+
+        Each candidate's number of "wins" (pairs in which it is placed above
+        the other candidate) determines its position; a transitive tournament
+        yields distinct win counts ``n-1, n-2, ..., 0``.
+        """
+        rounded = np.rint(assignment[: self.index.n_variables]).astype(np.int64)
+        n = self.index.n_candidates
+        wins = np.zeros(n, dtype=np.int64)
+        for variable_id, (a, b) in enumerate(self.index.pairs):
+            if rounded[variable_id] == 1:
+                wins[a] += 1
+            else:
+                wins[b] += 1
+        if sorted(wins.tolist()) != list(range(n)):
+            raise SolverError(
+                "assignment is not a transitive tournament; cannot decode a ranking"
+            )
+        order = np.argsort(-wins, kind="stable").astype(np.int64)
+        return Ranking(order, validate=False)
+
+    def ranking_to_assignment(self, ranking: Ranking) -> np.ndarray:
+        """Encode a ranking as a 0/1 assignment of the pair variables (warm starts)."""
+        assignment = np.zeros(self.index.n_variables, dtype=float)
+        positions = ranking.positions
+        for variable_id, (a, b) in enumerate(self.index.pairs):
+            assignment[variable_id] = 1.0 if positions[a] < positions[b] else 0.0
+        return assignment

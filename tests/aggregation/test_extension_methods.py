@@ -1,0 +1,128 @@
+"""Tests for the extension aggregators: MC4 (Markov chain) and Ranked Pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.markov_chain import (
+    MarkovChainAggregator,
+    mc4_transition_matrix,
+    stationary_distribution,
+)
+from repro.aggregation.ranked_pairs import RankedPairsAggregator
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import AggregationError
+from repro.fair.seeded import FairMarkovChainAggregator, FairRankedPairsAggregator
+from repro.fairness.parity import mani_rank_satisfied
+
+
+class TestMc4Internals:
+    def test_transition_matrix_is_row_stochastic(self, tiny_rankings):
+        transition = mc4_transition_matrix(tiny_rankings)
+        assert np.allclose(transition.sum(axis=1), 1.0)
+        assert (transition >= 0).all()
+
+    def test_teleport_validation(self, tiny_rankings):
+        with pytest.raises(AggregationError):
+            mc4_transition_matrix(tiny_rankings, teleport=1.0)
+        with pytest.raises(AggregationError):
+            MarkovChainAggregator(teleport=-0.1)
+
+    def test_stationary_distribution_sums_to_one(self, tiny_rankings):
+        transition = mc4_transition_matrix(tiny_rankings)
+        stationary = stationary_distribution(transition)
+        assert stationary.sum() == pytest.approx(1.0)
+        assert (stationary >= 0).all()
+
+    def test_stationary_is_fixed_point(self, tiny_rankings):
+        transition = mc4_transition_matrix(tiny_rankings)
+        stationary = stationary_distribution(transition)
+        assert np.allclose(stationary @ transition, stationary, atol=1e-8)
+
+    def test_stationary_rejects_non_square(self):
+        with pytest.raises(AggregationError):
+            stationary_distribution(np.ones((2, 3)))
+
+
+class TestMc4Aggregation:
+    def test_unanimous_rankings_recovered(self):
+        rankings = RankingSet.from_orders([[2, 0, 3, 1]] * 4)
+        assert MarkovChainAggregator().aggregate(rankings) == Ranking([2, 0, 3, 1])
+
+    def test_condorcet_winner_first(self):
+        rankings = RankingSet.from_orders([[2, 0, 1], [2, 1, 0], [0, 2, 1]])
+        assert MarkovChainAggregator().aggregate(rankings)[0] == 2
+
+    def test_single_candidate(self):
+        rankings = RankingSet.from_orders([[0]])
+        assert MarkovChainAggregator().aggregate(rankings) == Ranking([0])
+
+    def test_diagnostics_contain_stationary(self, tiny_rankings):
+        result = MarkovChainAggregator().aggregate_with_diagnostics(tiny_rankings)
+        assert result.diagnostics["stationary"].shape == (6,)
+
+    def test_registry_lookup(self, tiny_rankings):
+        from repro.aggregation import get_aggregator
+
+        consensus = get_aggregator("mc4").aggregate(tiny_rankings)
+        assert consensus.n_candidates == 6
+
+
+class TestRankedPairs:
+    def test_unanimous_rankings_recovered(self):
+        rankings = RankingSet.from_orders([[3, 1, 4, 0, 2]] * 3)
+        assert RankedPairsAggregator().aggregate(rankings) == Ranking([3, 1, 4, 0, 2])
+
+    def test_condorcet_winner_first(self):
+        rankings = RankingSet.from_orders([[2, 0, 1], [2, 1, 0], [0, 2, 1]])
+        assert RankedPairsAggregator().aggregate(rankings)[0] == 2
+
+    def test_condorcet_cycle_resolved_by_strongest_majority(self):
+        # 0 > 1 (4 votes), 1 > 2 (3 votes), 2 > 0 (3 votes): drop the weakest
+        # link consistent with locking the strongest first -> 0 first.
+        rankings = RankingSet.from_orders(
+            [[0, 1, 2], [0, 1, 2], [1, 2, 0], [2, 0, 1], [0, 1, 2]]
+        )
+        consensus = RankedPairsAggregator().aggregate(rankings)
+        assert consensus[0] == 0
+
+    def test_single_candidate(self):
+        rankings = RankingSet.from_orders([[0]])
+        assert RankedPairsAggregator().aggregate(rankings) == Ranking([0])
+
+    def test_agrees_with_kemeny_on_strong_consensus(self, small_rankings):
+        from repro.aggregation.kemeny import KemenyAggregator
+        from repro.core.distances import kemeny_objective
+
+        ranked_pairs = RankedPairsAggregator().aggregate(small_rankings)
+        exact = KemenyAggregator().aggregate_with_diagnostics(small_rankings)
+        gap = kemeny_objective(ranked_pairs, small_rankings) - exact.diagnostics["objective"]
+        assert gap >= -1e-9
+        # Ranked pairs is a good Kemeny heuristic on near-consensus profiles.
+        assert gap <= 0.05 * exact.diagnostics["objective"] + 5
+
+    @given(st.lists(st.permutations(list(range(5))), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_always_returns_valid_permutation(self, orders):
+        rankings = RankingSet.from_orders(orders)
+        consensus = RankedPairsAggregator().aggregate(rankings)
+        assert sorted(consensus.to_list()) == list(range(5))
+
+
+class TestFairExtensionMethods:
+    @pytest.mark.parametrize(
+        "method_class", [FairMarkovChainAggregator, FairRankedPairsAggregator]
+    )
+    def test_satisfies_mani_rank(self, method_class, small_dataset):
+        consensus = method_class().aggregate(small_dataset.rankings, small_dataset.table, 0.1)
+        assert mani_rank_satisfied(consensus, small_dataset.table, 0.1)
+
+    def test_registry_names(self):
+        from repro.fair import get_fair_method
+
+        assert get_fair_method("fair-mc4").name == "Fair-MC4"
+        assert get_fair_method("fair-ranked-pairs").name == "Fair-Ranked-Pairs"

@@ -1,0 +1,85 @@
+"""Tests for the positional aggregators: Borda and footrule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.borda import BordaAggregator, borda_scores
+from repro.aggregation.footrule import FootruleAggregator, footrule_cost_matrix
+from repro.core.distances import spearman_footrule
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import AggregationError
+
+
+class TestBorda:
+    def test_scores_single_ranking(self):
+        rankings = RankingSet.from_orders([[2, 0, 1]])
+        assert borda_scores(rankings).tolist() == [1.0, 0.0, 2.0]
+
+    def test_scores_accumulate_over_rankings(self):
+        rankings = RankingSet.from_orders([[0, 1, 2], [1, 0, 2]])
+        assert borda_scores(rankings).tolist() == [3.0, 3.0, 0.0]
+
+    def test_weighted_scores(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]], weights=[3.0, 1.0])
+        assert borda_scores(rankings, weighted=True).tolist() == [3.0, 1.0]
+
+    def test_unanimous_input_recovered(self):
+        rankings = RankingSet.from_orders([[3, 1, 0, 2]] * 5)
+        assert BordaAggregator().aggregate(rankings) == Ranking([3, 1, 0, 2])
+
+    def test_tie_break_is_deterministic(self):
+        rankings = RankingSet.from_orders([[0, 1, 2], [2, 1, 0]])
+        # All candidates tie on Borda points; ties break by candidate id.
+        assert BordaAggregator().aggregate(rankings) == Ranking([0, 1, 2])
+
+    def test_diagnostics_contain_scores(self, tiny_rankings):
+        result = BordaAggregator().aggregate_with_diagnostics(tiny_rankings)
+        assert result.method == "Borda"
+        assert len(result.diagnostics["scores"]) == tiny_rankings.n_candidates
+
+    def test_rejects_non_ranking_set(self):
+        with pytest.raises(AggregationError):
+            BordaAggregator().aggregate([[0, 1]])  # type: ignore[arg-type]
+
+    def test_callable_interface(self, tiny_rankings):
+        aggregator = BordaAggregator()
+        assert aggregator(tiny_rankings) == aggregator.aggregate(tiny_rankings)
+
+
+class TestFootrule:
+    def test_cost_matrix_shape_and_values(self):
+        rankings = RankingSet.from_orders([[0, 1, 2]])
+        cost = footrule_cost_matrix(rankings)
+        assert cost.shape == (3, 3)
+        # Candidate 0 is at position 0; placing it at position 2 costs 2.
+        assert cost[0, 2] == 2.0
+        assert cost[0, 0] == 0.0
+
+    def test_unanimous_input_recovered(self):
+        rankings = RankingSet.from_orders([[2, 3, 1, 0]] * 3)
+        assert FootruleAggregator().aggregate(rankings) == Ranking([2, 3, 1, 0])
+
+    def test_footrule_consensus_minimises_total_footrule(self):
+        rankings = RankingSet.from_orders(
+            [[0, 1, 2, 3], [1, 0, 2, 3], [0, 1, 3, 2], [2, 0, 1, 3]]
+        )
+        consensus = FootruleAggregator().aggregate(rankings)
+        optimal_cost = sum(spearman_footrule(consensus, base) for base in rankings)
+        from itertools import permutations
+
+        brute = min(
+            sum(spearman_footrule(Ranking(list(order)), base) for base in rankings)
+            for order in permutations(range(4))
+        )
+        assert optimal_cost == brute
+
+    def test_weighted_footrule(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]], weights=[5.0, 1.0])
+        assert FootruleAggregator(weighted=True).aggregate(rankings) == Ranking([0, 1])
+
+    def test_diagnostics_cost(self, tiny_rankings):
+        result = FootruleAggregator().aggregate_with_diagnostics(tiny_rankings)
+        assert result.diagnostics["assignment_cost"] >= 0.0

@@ -1,0 +1,79 @@
+"""Shared fixtures for the MANI-Rank reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.datagen.attributes import small_mallows_table
+from repro.datagen.fair_modal import generate_mallows_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_table() -> CandidateTable:
+    """Six candidates, two binary-ish protected attributes, all groups non-empty."""
+    return CandidateTable(
+        {
+            "Gender": ["Man", "Woman", "Woman", "Man", "Woman", "Man"],
+            "Race": ["A", "A", "B", "B", "A", "B"],
+        },
+        names=["c0", "c1", "c2", "c3", "c4", "c5"],
+    )
+
+
+@pytest.fixture
+def tiny_rankings() -> RankingSet:
+    """Three base rankings over the six tiny-table candidates."""
+    return RankingSet.from_orders(
+        [
+            [0, 3, 5, 1, 2, 4],
+            [3, 0, 5, 2, 1, 4],
+            [0, 5, 3, 2, 4, 1],
+        ],
+        labels=["r1", "r2", "r3"],
+    )
+
+
+@pytest.fixture
+def single_attribute_table() -> CandidateTable:
+    """Four candidates with a single binary protected attribute."""
+    return CandidateTable({"Gender": ["M", "F", "M", "F"]})
+
+
+@pytest.fixture
+def biased_ranking_for_tiny_table() -> Ranking:
+    """All men above all women in the tiny table (maximally gender-biased)."""
+    # Men are candidates 0, 3, 5; women are 1, 2, 4.
+    return Ranking([0, 3, 5, 1, 2, 4])
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 12-candidate Mallows dataset with a low-fairness modal ranking.
+
+    Session-scoped because several aggregation and fairness tests reuse it and
+    generation involves calibration.
+    """
+    table = small_mallows_table(group_size=2)
+    return generate_mallows_dataset(table, "low", theta=0.6, n_rankings=20, rng=7)
+
+
+@pytest.fixture(scope="session")
+def small_table(small_dataset) -> CandidateTable:
+    """Candidate table of the session-scoped small dataset."""
+    return small_dataset.table
+
+
+@pytest.fixture(scope="session")
+def small_rankings(small_dataset) -> RankingSet:
+    """Base rankings of the session-scoped small dataset."""
+    return small_dataset.rankings

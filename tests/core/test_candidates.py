@@ -1,0 +1,228 @@
+"""Tests for the candidate / protected-attribute model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import CandidateTable, Group, ProtectedAttribute, intersection_label
+from repro.exceptions import AttributeDomainError, CandidateError, ValidationError
+
+
+class TestProtectedAttribute:
+    def test_cardinality(self):
+        attribute = ProtectedAttribute("Gender", ("M", "F", "X"))
+        assert attribute.cardinality == 3
+
+    def test_index_of_known_value(self):
+        attribute = ProtectedAttribute("Gender", ("M", "F"))
+        assert attribute.index_of("F") == 1
+
+    def test_index_of_unknown_value_raises(self):
+        attribute = ProtectedAttribute("Gender", ("M", "F"))
+        with pytest.raises(AttributeDomainError):
+            attribute.index_of("X")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ProtectedAttribute("", ("M", "F"))
+
+    def test_single_value_domain_rejected(self):
+        with pytest.raises(AttributeDomainError):
+            ProtectedAttribute("Gender", ("M",))
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(AttributeDomainError):
+            ProtectedAttribute("Gender", ("M", "M"))
+
+
+class TestGroup:
+    def test_size_and_membership(self):
+        group = Group("Gender", "Woman", (1, 4, 5))
+        assert group.size == 3
+        assert 4 in group
+        assert 2 not in group
+
+    def test_label_for_attribute_group(self):
+        group = Group("Gender", "Woman", (1,))
+        assert group.label == "Gender=Woman"
+
+    def test_label_for_intersection_group(self):
+        group = Group(CandidateTable.INTERSECTION, ("Woman", "Black"), (1,))
+        assert group.label == "Woman & Black"
+
+    def test_intersection_label_helper(self):
+        assert intersection_label(["A", 2]) == "A & 2"
+
+
+class TestCandidateTableConstruction:
+    def test_basic_construction(self, tiny_table):
+        assert tiny_table.n_candidates == 6
+        assert len(tiny_table) == 6
+        assert tiny_table.attribute_names == ("Gender", "Race")
+
+    def test_names_default_to_generated(self):
+        table = CandidateTable({"Gender": ["M", "F"]})
+        assert table.names == ("c0", "c1")
+
+    def test_explicit_names(self, tiny_table):
+        assert tiny_table.name_of(0) == "c0"
+        assert tiny_table.id_of("c3") == 3
+
+    def test_unknown_name_raises(self, tiny_table):
+        with pytest.raises(CandidateError):
+            tiny_table.id_of("nobody")
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(CandidateError):
+            CandidateTable({})
+
+    def test_zero_candidates_rejected(self):
+        with pytest.raises(CandidateError):
+            CandidateTable({"Gender": []})
+
+    def test_inconsistent_column_lengths_rejected(self):
+        with pytest.raises(CandidateError):
+            CandidateTable({"Gender": ["M", "F"], "Race": ["A"]})
+
+    def test_reserved_attribute_name_rejected(self):
+        with pytest.raises(CandidateError):
+            CandidateTable({CandidateTable.INTERSECTION: ["x", "y"]})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CandidateError):
+            CandidateTable({"Gender": ["M", "F"]}, names=["a", "a"])
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(CandidateError):
+            CandidateTable({"Gender": ["M", "F"]}, names=["a"])
+
+    def test_declared_domain_must_cover_values(self):
+        with pytest.raises(AttributeDomainError):
+            CandidateTable({"Gender": ["M", "F", "X"]}, domains={"Gender": ("M", "F")})
+
+    def test_declared_domain_preserves_extra_values(self):
+        table = CandidateTable(
+            {"Gender": ["M", "M", "F"]}, domains={"Gender": ("M", "F", "X")}
+        )
+        assert table.attribute("Gender").cardinality == 3
+        # The X group is empty and therefore not returned.
+        assert len(table.groups("Gender")) == 2
+
+    def test_from_records(self):
+        records = [
+            {"name": "a", "Gender": "M", "Race": "A"},
+            {"name": "b", "Gender": "F", "Race": "B"},
+        ]
+        table = CandidateTable.from_records(records, ["Gender", "Race"], name_field="name")
+        assert table.n_candidates == 2
+        assert table.name_of(1) == "b"
+
+    def test_from_records_missing_attribute_raises(self):
+        with pytest.raises(CandidateError):
+            CandidateTable.from_records([{"Gender": "M"}], ["Gender", "Race"])
+
+    def test_from_records_empty_raises(self):
+        with pytest.raises(CandidateError):
+            CandidateTable.from_records([], ["Gender"])
+
+    def test_to_records_round_trip(self, tiny_table):
+        records = tiny_table.to_records()
+        rebuilt = CandidateTable.from_records(
+            records, list(tiny_table.attribute_names), name_field="name"
+        )
+        assert rebuilt == tiny_table
+
+    def test_equality_and_hash(self, tiny_table):
+        clone = CandidateTable(
+            {
+                "Gender": list(tiny_table.column("Gender")),
+                "Race": list(tiny_table.column("Race")),
+            },
+            names=list(tiny_table.names),
+        )
+        assert clone == tiny_table
+        assert hash(clone) == hash(tiny_table)
+
+    def test_inequality_with_other_types(self, tiny_table):
+        assert tiny_table != "not a table"
+
+
+class TestCandidateTableAccessors:
+    def test_value_of(self, tiny_table):
+        assert tiny_table.value_of(1, "Gender") == "Woman"
+        assert tiny_table.value_of(1, "Race") == "A"
+
+    def test_value_of_intersection(self, tiny_table):
+        assert tiny_table.value_of(1, CandidateTable.INTERSECTION) == ("Woman", "A")
+
+    def test_value_of_unknown_attribute_raises(self, tiny_table):
+        with pytest.raises(CandidateError):
+            tiny_table.value_of(1, "Age")
+
+    def test_value_of_out_of_range_candidate(self, tiny_table):
+        with pytest.raises(CandidateError):
+            tiny_table.value_of(99, "Gender")
+
+    def test_column(self, tiny_table):
+        assert tiny_table.column("Race") == ("A", "A", "B", "B", "A", "B")
+
+    def test_column_unknown_attribute(self, tiny_table):
+        with pytest.raises(CandidateError):
+            tiny_table.column("Age")
+
+    def test_intersection_cardinality(self, tiny_table):
+        assert tiny_table.intersection_cardinality == 4
+
+    def test_attribute_lookup(self, tiny_table):
+        assert tiny_table.attribute("Gender").domain == ("Man", "Woman")
+        with pytest.raises(CandidateError):
+            tiny_table.attribute("Age")
+
+
+class TestGroupStructure:
+    def test_attribute_groups_partition_candidates(self, tiny_table):
+        groups = tiny_table.groups("Gender")
+        members = sorted(m for group in groups for m in group.members)
+        assert members == list(range(6))
+
+    def test_group_lookup_by_value(self, tiny_table):
+        women = tiny_table.group("Gender", "Woman")
+        assert set(women.members) == {1, 2, 4}
+
+    def test_group_lookup_unknown_value(self, tiny_table):
+        with pytest.raises(CandidateError):
+            tiny_table.group("Gender", "Other")
+
+    def test_intersectional_groups_partition_candidates(self, tiny_table):
+        groups = tiny_table.intersectional_groups()
+        members = sorted(m for group in groups for m in group.members)
+        assert members == list(range(6))
+        assert len(groups) == 4
+
+    def test_groups_via_intersection_keyword(self, tiny_table):
+        assert tiny_table.groups(CandidateTable.INTERSECTION) == tiny_table.intersectional_groups()
+
+    def test_groups_unknown_attribute(self, tiny_table):
+        with pytest.raises(CandidateError):
+            tiny_table.groups("Age")
+
+    def test_all_fairness_entities_multi_attribute(self, tiny_table):
+        assert tiny_table.all_fairness_entities() == (
+            "Gender",
+            "Race",
+            CandidateTable.INTERSECTION,
+        )
+
+    def test_all_fairness_entities_single_attribute(self, single_attribute_table):
+        assert single_attribute_table.all_fairness_entities() == ("Gender",)
+
+    def test_group_membership_array(self, tiny_table):
+        membership = tiny_table.group_membership_array("Gender")
+        groups = tiny_table.groups("Gender")
+        for index, group in enumerate(groups):
+            for member in group.members:
+                assert membership[member] == index
+
+    def test_membership_array_intersection(self, tiny_table):
+        membership = tiny_table.group_membership_array(CandidateTable.INTERSECTION)
+        assert len(set(membership.tolist())) == 4

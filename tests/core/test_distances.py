@@ -1,0 +1,125 @@
+"""Tests for rank distances (Kendall tau, footrule, Kemeny objective)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import (
+    kemeny_objective,
+    kendall_tau,
+    kendall_tau_naive,
+    kendall_tau_to_set,
+    normalized_kendall_tau,
+    normalized_spearman_footrule,
+    spearman_footrule,
+)
+from repro.core.pairwise import total_pairs
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import RankingError
+
+small_permutations = st.integers(min_value=1, max_value=12).flatmap(
+    lambda n: st.tuples(st.permutations(list(range(n))), st.permutations(list(range(n))))
+)
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        ranking = Ranking([0, 2, 1, 3])
+        assert kendall_tau(ranking, ranking) == 0
+
+    def test_reversed_rankings_maximal(self):
+        ranking = Ranking.identity(6)
+        assert kendall_tau(ranking, ranking.reversed()) == total_pairs(6)
+
+    def test_single_adjacent_swap(self):
+        assert kendall_tau(Ranking([0, 1, 2]), Ranking([1, 0, 2])) == 1
+
+    def test_known_value(self):
+        # [0,1,2,3] vs [3,1,0,2]: disagreeing pairs (0,3), (1,3), (2,3), (0,1) -> 4
+        assert kendall_tau(Ranking([0, 1, 2, 3]), Ranking([3, 1, 0, 2])) == 4
+
+    def test_symmetry(self):
+        first, second = Ranking([2, 0, 3, 1]), Ranking([1, 3, 0, 2])
+        assert kendall_tau(first, second) == kendall_tau(second, first)
+
+    def test_universe_mismatch(self):
+        with pytest.raises(RankingError):
+            kendall_tau(Ranking([0, 1]), Ranking([0, 1, 2]))
+
+    def test_single_candidate(self):
+        assert kendall_tau(Ranking([0]), Ranking([0])) == 0
+
+    @given(small_permutations)
+    @settings(max_examples=80, deadline=None)
+    def test_fast_matches_naive(self, pair):
+        first, second = Ranking(list(pair[0])), Ranking(list(pair[1]))
+        assert kendall_tau(first, second) == kendall_tau_naive(first, second)
+
+    @given(small_permutations)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, pair):
+        first, second = Ranking(list(pair[0])), Ranking(list(pair[1]))
+        identity = Ranking.identity(first.n_candidates)
+        assert kendall_tau(first, second) <= kendall_tau(first, identity) + kendall_tau(
+            identity, second
+        )
+
+    def test_normalized_range(self):
+        first, second = Ranking([0, 1, 2, 3]), Ranking([3, 2, 1, 0])
+        assert normalized_kendall_tau(first, second) == 1.0
+        assert normalized_kendall_tau(first, first) == 0.0
+
+    def test_normalized_single_candidate(self):
+        assert normalized_kendall_tau(Ranking([0]), Ranking([0])) == 0.0
+
+
+class TestFootrule:
+    def test_identical(self):
+        ranking = Ranking([1, 0, 2])
+        assert spearman_footrule(ranking, ranking) == 0
+
+    def test_known_value(self):
+        assert spearman_footrule(Ranking([0, 1, 2]), Ranking([2, 1, 0])) == 4
+
+    def test_normalized_reversal_is_one(self):
+        ranking = Ranking.identity(6)
+        assert normalized_spearman_footrule(ranking, ranking.reversed()) == 1.0
+
+    def test_normalized_single_candidate(self):
+        assert normalized_spearman_footrule(Ranking([0]), Ranking([0])) == 0.0
+
+    @given(small_permutations)
+    @settings(max_examples=60, deadline=None)
+    def test_diaconis_graham_inequality(self, pair):
+        """Kendall tau <= footrule <= 2 * Kendall tau (Diaconis & Graham)."""
+        first, second = Ranking(list(pair[0])), Ranking(list(pair[1]))
+        tau = kendall_tau(first, second)
+        footrule = spearman_footrule(first, second)
+        assert tau <= footrule <= 2 * tau
+
+
+class TestSetDistances:
+    def test_kendall_tau_to_set(self, tiny_rankings):
+        consensus = tiny_rankings[0]
+        expected = sum(kendall_tau(consensus, base) for base in tiny_rankings)
+        assert kendall_tau_to_set(consensus, tiny_rankings) == expected
+
+    def test_kemeny_objective_matches_sum_of_distances(self, tiny_rankings):
+        consensus = Ranking([0, 1, 2, 3, 4, 5])
+        assert kemeny_objective(consensus, tiny_rankings) == kendall_tau_to_set(
+            consensus, tiny_rankings
+        )
+
+    def test_weighted_distance(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]], weights=[2.0, 1.0])
+        consensus = Ranking([0, 1])
+        assert kendall_tau_to_set(consensus, rankings, weighted=True) == 1.0
+
+    def test_universe_mismatch(self, tiny_rankings):
+        with pytest.raises(RankingError):
+            kendall_tau_to_set(Ranking([0, 1]), tiny_rankings)
+        with pytest.raises(RankingError):
+            kemeny_objective(Ranking([0, 1]), tiny_rankings)

@@ -1,0 +1,101 @@
+"""Tests for the pairwise counting machinery (mixed pairs, favored pairs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairwise import (
+    favored_mixed_pairs,
+    favored_mixed_pairs_by_group,
+    mixed_pairs,
+    pairwise_contest_wins,
+    total_mixed_pairs,
+    total_pairs,
+)
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import FairnessError
+
+
+class TestCounts:
+    def test_total_pairs(self):
+        assert total_pairs(0) == 0
+        assert total_pairs(1) == 0
+        assert total_pairs(2) == 1
+        assert total_pairs(10) == 45
+
+    def test_total_pairs_negative(self):
+        with pytest.raises(FairnessError):
+            total_pairs(-1)
+
+    def test_mixed_pairs(self):
+        assert mixed_pairs(3, 10) == 21
+        assert mixed_pairs(0, 10) == 0
+        assert mixed_pairs(10, 10) == 0
+
+    def test_mixed_pairs_invalid(self):
+        with pytest.raises(FairnessError):
+            mixed_pairs(5, 3)
+        with pytest.raises(FairnessError):
+            mixed_pairs(-1, 3)
+
+    def test_total_mixed_pairs(self):
+        # Two groups of sizes 2 and 3 over 5 candidates: 10 - 1 - 3 = 6.
+        assert total_mixed_pairs([2, 3], 5) == 6
+
+    def test_total_mixed_pairs_requires_partition(self):
+        with pytest.raises(FairnessError):
+            total_mixed_pairs([2, 2], 5)
+
+
+class TestFavoredPairs:
+    def test_group_at_top(self):
+        ranking = Ranking([0, 1, 2, 3, 4])
+        assert favored_mixed_pairs(ranking, [0, 1]) == mixed_pairs(2, 5)
+
+    def test_group_at_bottom(self):
+        ranking = Ranking([2, 3, 4, 0, 1])
+        assert favored_mixed_pairs(ranking, [0, 1]) == 0
+
+    def test_interleaved_group(self):
+        ranking = Ranking([0, 2, 1, 3])
+        # group {0, 1}: 0 beats 2 and 3 (2 favored); 1 beats 3 (1 favored).
+        assert favored_mixed_pairs(ranking, [0, 1]) == 3
+
+    def test_by_group_matches_single_group_computation(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        membership = tiny_table.group_membership_array("Gender")
+        groups = tiny_table.groups("Gender")
+        counts = favored_mixed_pairs_by_group(ranking, membership, len(groups))
+        for index, group in enumerate(groups):
+            assert counts[index] == favored_mixed_pairs(ranking, group.members)
+
+    def test_by_group_counts_sum_to_cross_pairs(self, tiny_table):
+        ranking = Ranking([5, 1, 0, 4, 2, 3])
+        membership = tiny_table.group_membership_array("Race")
+        groups = tiny_table.groups("Race")
+        counts = favored_mixed_pairs_by_group(ranking, membership, len(groups))
+        sizes = [group.size for group in groups]
+        assert counts.sum() == total_mixed_pairs(sizes, tiny_table.n_candidates)
+
+    @given(st.permutations(list(range(8))), st.sets(st.integers(0, 7), min_size=1, max_size=7))
+    @settings(max_examples=60, deadline=None)
+    def test_favored_pairs_bounded_by_mixed_pairs(self, order, members):
+        ranking = Ranking(list(order))
+        favored = favored_mixed_pairs(ranking, sorted(members))
+        assert 0 <= favored <= mixed_pairs(len(members), 8)
+
+
+class TestContestWins:
+    def test_unanimous_rankings(self):
+        rankings = RankingSet.from_orders([[0, 1, 2]] * 3)
+        wins = pairwise_contest_wins(rankings)
+        assert wins.tolist() == [2, 1, 0]
+
+    def test_tie_counts_as_win_for_both(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]])
+        wins = pairwise_contest_wins(rankings)
+        assert wins.tolist() == [1, 1]

@@ -1,0 +1,137 @@
+"""Tests for the RankingSet (base rankings) container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import RankingError, ValidationError
+
+
+class TestConstruction:
+    def test_basic(self, tiny_rankings):
+        assert tiny_rankings.n_rankings == 3
+        assert tiny_rankings.n_candidates == 6
+        assert len(tiny_rankings) == 3
+
+    def test_default_labels(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]])
+        assert rankings.labels == ("r1", "r2")
+
+    def test_explicit_labels(self, tiny_rankings):
+        assert tiny_rankings.labels == ("r1", "r2", "r3")
+        assert tiny_rankings.label_of(2) == "r3"
+
+    def test_empty_rejected(self):
+        with pytest.raises(RankingError):
+            RankingSet([])
+
+    def test_mixed_universe_rejected(self):
+        with pytest.raises(RankingError):
+            RankingSet([Ranking([0, 1]), Ranking([0, 1, 2])])
+
+    def test_non_ranking_item_rejected(self):
+        with pytest.raises(RankingError):
+            RankingSet([[0, 1]])  # type: ignore[list-item]
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            RankingSet([Ranking([0, 1])], labels=["a", "b"])
+
+    def test_weight_validation(self):
+        ranking = Ranking([0, 1])
+        with pytest.raises(ValidationError):
+            RankingSet([ranking], weights=[-1.0])
+        with pytest.raises(ValidationError):
+            RankingSet([ranking], weights=[0.0])
+        with pytest.raises(ValidationError):
+            RankingSet([ranking], weights=[1.0, 2.0])
+
+    def test_from_score_columns(self):
+        rankings = RankingSet.from_score_columns(
+            {"math": [1.0, 3.0, 2.0], "reading": [3.0, 2.0, 1.0]}
+        )
+        assert rankings.labels == ("math", "reading")
+        assert rankings[0].to_list() == [1, 2, 0]
+        assert rankings[1].to_list() == [0, 1, 2]
+
+    def test_iteration_and_indexing(self, tiny_rankings):
+        assert list(tiny_rankings)[0] == tiny_rankings[0]
+
+
+class TestPrecedenceMatrix:
+    def test_precedence_counts(self):
+        rankings = RankingSet.from_orders([[0, 1, 2], [0, 2, 1], [1, 0, 2]])
+        precedence = rankings.precedence_matrix()
+        # W[a, b] = number of rankings where b precedes a.
+        assert precedence[1, 0] == 2  # 0 above 1 in two rankings
+        assert precedence[0, 1] == 1
+        assert precedence[2, 0] == 3
+        assert precedence[0, 2] == 0
+        assert np.all(np.diag(precedence) == 0)
+
+    def test_precedence_pairs_sum_to_ranking_count(self, tiny_rankings):
+        precedence = tiny_rankings.precedence_matrix()
+        n = tiny_rankings.n_candidates
+        for a in range(n):
+            for b in range(a + 1, n):
+                assert precedence[a, b] + precedence[b, a] == tiny_rankings.n_rankings
+
+    def test_precedence_matrix_is_cached(self, tiny_rankings):
+        assert tiny_rankings.precedence_matrix() is tiny_rankings.precedence_matrix()
+
+    def test_weighted_precedence(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]], weights=[3.0, 1.0])
+        weighted = rankings.precedence_matrix(weighted=True)
+        assert weighted[1, 0] == 3.0
+        assert weighted[0, 1] == 1.0
+
+    def test_pairwise_support_is_transpose(self, tiny_rankings):
+        support = tiny_rankings.pairwise_support()
+        assert np.array_equal(support, tiny_rankings.precedence_matrix().T)
+
+    def test_precedence_read_only(self, tiny_rankings):
+        with pytest.raises(ValueError):
+            tiny_rankings.precedence_matrix()[0, 0] = 1.0
+
+
+class TestPositions:
+    def test_position_matrix_shape(self, tiny_rankings):
+        matrix = tiny_rankings.position_matrix()
+        assert matrix.shape == (3, 6)
+
+    def test_mean_positions(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]])
+        assert rankings.mean_positions().tolist() == [0.5, 0.5]
+
+
+class TestManipulation:
+    def test_with_weights(self, tiny_rankings):
+        weighted = tiny_rankings.with_weights([1.0, 2.0, 3.0])
+        assert weighted.weights.tolist() == [1.0, 2.0, 3.0]
+        assert tiny_rankings.weights.tolist() == [1.0, 1.0, 1.0]
+
+    def test_subset(self, tiny_rankings):
+        subset = tiny_rankings.subset([0, 2])
+        assert subset.n_rankings == 2
+        assert subset.labels == ("r1", "r3")
+
+    def test_subset_empty_rejected(self, tiny_rankings):
+        with pytest.raises(RankingError):
+            tiny_rankings.subset([])
+
+    def test_extended_with(self, tiny_rankings):
+        extra = Ranking([5, 4, 3, 2, 1, 0])
+        extended = tiny_rankings.extended_with([extra], labels=["reverse"])
+        assert extended.n_rankings == 4
+        assert extended.labels[-1] == "reverse"
+
+    def test_extended_with_default_labels(self, tiny_rankings):
+        extended = tiny_rankings.extended_with([Ranking([0, 1, 2, 3, 4, 5])])
+        assert extended.labels[-1] == "r4"
+
+    def test_to_order_lists(self, tiny_rankings):
+        orders = tiny_rankings.to_order_lists()
+        assert orders[0] == [0, 3, 5, 1, 2, 4]

@@ -1,0 +1,93 @@
+"""Tests for the candidate-table generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.attributes import (
+    GENDER_DOMAIN,
+    RACE_DOMAIN,
+    balanced_candidate_table,
+    paper_mallows_table,
+    proportional_candidate_table,
+    scalability_table,
+    small_mallows_table,
+)
+from repro.exceptions import DataGenerationError
+
+
+class TestBalancedTable:
+    def test_group_sizes_exact(self):
+        table = balanced_candidate_table({"A": ("x", "y"), "B": ("u", "v", "w")}, 4)
+        assert table.n_candidates == 24
+        for group in table.intersectional_groups():
+            assert group.size == 4
+
+    def test_zero_group_size_rejected(self):
+        with pytest.raises(DataGenerationError):
+            balanced_candidate_table({"A": ("x", "y")}, 0)
+
+    def test_empty_domains_rejected(self):
+        with pytest.raises(DataGenerationError):
+            balanced_candidate_table({}, 3)
+
+    def test_paper_table_dimensions(self):
+        table = paper_mallows_table()
+        assert table.n_candidates == 90
+        assert table.attribute("Gender").domain == GENDER_DOMAIN
+        assert table.attribute("Race").domain == RACE_DOMAIN
+        assert len(table.intersectional_groups()) == 15
+
+    def test_small_table_dimensions(self):
+        table = small_mallows_table()
+        assert table.n_candidates == 12
+        assert len(table.intersectional_groups()) == 6
+
+
+class TestProportionalTable:
+    def test_every_group_nonempty(self, rng):
+        table = proportional_candidate_table(
+            30, {"Gender": ("M", "W"), "Race": ("A", "B", "C")}, rng=rng
+        )
+        assert table.n_candidates == 30
+        for attribute in table.attribute_names:
+            assert len(table.groups(attribute)) == len(table.attribute(attribute).domain)
+
+    def test_proportions_respected_roughly(self, rng):
+        table = proportional_candidate_table(
+            400,
+            {"X": ("a", "b")},
+            proportions={"X": (0.9, 0.1)},
+            rng=rng,
+        )
+        group_a = table.group("X", "a")
+        assert group_a.size > 300
+
+    def test_rejects_more_values_than_candidates(self, rng):
+        with pytest.raises(DataGenerationError):
+            proportional_candidate_table(2, {"X": ("a", "b", "c")}, rng=rng)
+
+    def test_rejects_bad_proportions(self, rng):
+        with pytest.raises(DataGenerationError):
+            proportional_candidate_table(
+                10, {"X": ("a", "b")}, proportions={"X": (0.9, 0.5)}, rng=rng
+            )
+        with pytest.raises(DataGenerationError):
+            proportional_candidate_table(
+                10, {"X": ("a", "b")}, proportions={"X": (1.0,)}, rng=rng
+            )
+
+    def test_rejects_zero_candidates(self):
+        with pytest.raises(DataGenerationError):
+            proportional_candidate_table(0, {"X": ("a", "b")})
+
+    def test_seed_reproducibility(self):
+        first = proportional_candidate_table(20, {"X": ("a", "b")}, rng=3)
+        second = proportional_candidate_table(20, {"X": ("a", "b")}, rng=3)
+        assert first == second
+
+    def test_scalability_table_binary_attributes(self):
+        table = scalability_table(50)
+        assert table.n_candidates == 50
+        assert table.attribute("Gender").cardinality == 2
+        assert table.attribute("Race").cardinality == 2

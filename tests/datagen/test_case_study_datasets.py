@@ -1,0 +1,116 @@
+"""Tests for the exam-score and CSRankings synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.csrankings import generate_csrankings_dataset
+from repro.datagen.exams import SUBJECTS, generate_exam_dataset
+from repro.exceptions import DataGenerationError
+from repro.fairness.fpr import fpr_by_group
+from repro.fairness.parity import parity_scores
+
+
+class TestExamDataset:
+    def test_structure(self):
+        dataset = generate_exam_dataset(120, seed=1)
+        assert dataset.table.n_candidates == 120
+        assert dataset.rankings.n_rankings == 3
+        assert dataset.rankings.labels == SUBJECTS
+        assert set(dataset.table.attribute_names) == {"Gender", "Race", "Lunch"}
+
+    def test_scores_within_bounds(self):
+        dataset = generate_exam_dataset(100, seed=2)
+        for scores in dataset.scores.values():
+            assert scores.min() >= 0.0
+            assert scores.max() <= 100.0
+
+    def test_every_group_nonempty(self):
+        dataset = generate_exam_dataset(60, seed=3)
+        for attribute in dataset.table.attribute_names:
+            for group in dataset.table.groups(attribute):
+                assert group.size > 0
+
+    def test_reproducible(self):
+        first = generate_exam_dataset(80, seed=5)
+        second = generate_exam_dataset(80, seed=5)
+        assert first.table == second.table
+        assert first.rankings.to_order_lists() == second.rankings.to_order_lists()
+
+    def test_lunch_bias_present_in_all_subjects(self):
+        """The structural fact Table IV relies on: NoSub students rank higher."""
+        dataset = generate_exam_dataset(200, seed=2022)
+        for ranking in dataset.rankings:
+            scores = fpr_by_group(ranking, dataset.table, "Lunch")
+            assert scores["Lunch=NoSub"] > scores["Lunch=SubLunch"] + 0.1
+
+    def test_gender_gap_flips_between_math_and_reading(self):
+        dataset = generate_exam_dataset(200, seed=2022)
+        by_label = dict(zip(dataset.rankings.labels, dataset.rankings))
+        math_fpr = fpr_by_group(by_label["Math"], dataset.table, "Gender")
+        reading_fpr = fpr_by_group(by_label["Reading"], dataset.table, "Gender")
+        assert math_fpr["Gender=Man"] > math_fpr["Gender=Woman"] - 0.05
+        assert reading_fpr["Gender=Woman"] > reading_fpr["Gender=Man"]
+
+    def test_nathawaii_disadvantaged(self):
+        dataset = generate_exam_dataset(200, seed=2022)
+        for ranking in dataset.rankings:
+            race_fpr = fpr_by_group(ranking, dataset.table, "Race")
+            assert race_fpr["Race=NatHawaii"] == min(race_fpr.values())
+
+    def test_too_few_students_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_exam_dataset(5)
+
+
+class TestCSRankingsDataset:
+    def test_structure(self):
+        dataset = generate_csrankings_dataset(65, 2000, 2020, seed=41)
+        assert dataset.table.n_candidates == 65
+        assert dataset.rankings.n_rankings == 21
+        assert dataset.years == tuple(range(2000, 2021))
+        assert dataset.rankings.labels[0] == "2000"
+
+    def test_both_types_present(self):
+        dataset = generate_csrankings_dataset(30, 2015, 2018, seed=1)
+        types = set(dataset.table.column("Type"))
+        assert types == {"Private", "Public"}
+
+    def test_all_regions_present(self):
+        dataset = generate_csrankings_dataset(65, 2000, 2001, seed=41)
+        assert set(dataset.table.column("Location")) == {
+            "Northeast",
+            "Midwest",
+            "West",
+            "South",
+        }
+
+    def test_northeast_advantage_is_persistent(self):
+        """Every yearly ranking favours Northeast over South departments."""
+        dataset = generate_csrankings_dataset(65, 2000, 2020, seed=41)
+        for ranking in dataset.rankings:
+            scores = fpr_by_group(ranking, dataset.table, "Location")
+            assert scores["Location=Northeast"] > scores["Location=South"] + 0.1
+
+    def test_location_bias_magnitude_matches_paper_range(self):
+        dataset = generate_csrankings_dataset(65, 2000, 2020, seed=41)
+        location_arps = [
+            parity_scores(ranking, dataset.table)["Location"]
+            for ranking in dataset.rankings
+        ]
+        # Paper Table V: yearly Location ARP roughly 0.35 - 0.50.
+        assert 0.2 < float(np.mean(location_arps)) < 0.65
+
+    def test_reproducible(self):
+        first = generate_csrankings_dataset(40, 2010, 2015, seed=9)
+        second = generate_csrankings_dataset(40, 2010, 2015, seed=9)
+        assert first.rankings.to_order_lists() == second.rankings.to_order_lists()
+
+    def test_invalid_year_range_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_csrankings_dataset(30, 2020, 2010)
+
+    def test_too_few_departments_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_csrankings_dataset(4)

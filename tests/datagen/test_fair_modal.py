@@ -1,0 +1,156 @@
+"""Tests for the fairness-controlled modal-ranking generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateTable
+from repro.datagen.attributes import paper_mallows_table, small_mallows_table
+from repro.datagen.fair_modal import (
+    FAIRNESS_PROFILES,
+    biased_modal_ranking,
+    calibrated_modal_ranking,
+    generate_mallows_dataset,
+    modal_ranking_with_parity_targets,
+    privileged_modal_ranking,
+    profile_modal_ranking,
+)
+from repro.exceptions import DataGenerationError
+from repro.fairness.parity import arp, irp, parity_scores
+
+
+class TestPrivilegedModal:
+    def test_maximal_intersection_bias(self):
+        table = small_mallows_table(group_size=2)
+        modal = privileged_modal_ranking(table, rng=3)
+        assert irp(modal, table) == pytest.approx(1.0)
+        assert arp(modal, table, "Gender") == pytest.approx(1.0)
+
+    def test_custom_privilege_order(self):
+        table = small_mallows_table(group_size=2)
+        modal = privileged_modal_ranking(
+            table, privilege_order={"Gender": ["Woman", "Man"]}, rng=3
+        )
+        # Women occupy the top half now.
+        women = table.group("Gender", "Woman")
+        assert set(modal.top(6).tolist()) == set(women.members)
+
+    def test_incomplete_privilege_order_rejected(self):
+        table = small_mallows_table(group_size=2)
+        with pytest.raises(DataGenerationError):
+            privileged_modal_ranking(table, privilege_order={"Gender": ["Man"]})
+
+
+class TestBiasedModal:
+    def test_zero_bias_has_low_parity_gap(self):
+        table = paper_mallows_table(group_size=4)
+        rng = np.random.default_rng(5)
+        gaps = [
+            arp(biased_modal_ranking(table, {}, rng=rng), table, "Gender")
+            for _ in range(5)
+        ]
+        assert min(gaps) < 0.35  # unbiased rankings hover near parity
+
+    def test_strong_bias_approaches_one(self):
+        table = paper_mallows_table(group_size=4)
+        modal = biased_modal_ranking(table, {"Gender": 50.0}, rng=5)
+        assert arp(modal, table, "Gender") > 0.95
+
+    def test_bias_is_monotone_in_strength(self):
+        table = paper_mallows_table(group_size=4)
+        noise = np.random.default_rng(0).uniform(size=table.n_candidates)
+        values = [
+            arp(biased_modal_ranking(table, {"Race": s}, noise=noise), table, "Race")
+            for s in (0.0, 0.5, 2.0, 10.0)
+        ]
+        assert values == sorted(values)
+
+    def test_unknown_attribute_rejected(self):
+        table = small_mallows_table()
+        with pytest.raises(DataGenerationError):
+            biased_modal_ranking(table, {"Age": 1.0}, rng=0)
+
+    def test_negative_strength_rejected(self):
+        table = small_mallows_table()
+        with pytest.raises(DataGenerationError):
+            biased_modal_ranking(table, {"Gender": -1.0}, rng=0)
+
+    def test_bad_noise_shape_rejected(self):
+        table = small_mallows_table()
+        with pytest.raises(DataGenerationError):
+            biased_modal_ranking(table, {}, noise=np.zeros(3))
+
+
+class TestCalibration:
+    def test_hits_targets_within_tolerance(self):
+        table = paper_mallows_table(group_size=4)
+        targets = {"Gender": 0.5, "Race": 0.4}
+        modal = calibrated_modal_ranking(table, targets, rng=11)
+        assert arp(modal, table, "Gender") == pytest.approx(0.5, abs=0.08)
+        assert arp(modal, table, "Race") == pytest.approx(0.4, abs=0.08)
+
+    def test_invalid_target_rejected(self):
+        table = small_mallows_table()
+        with pytest.raises(DataGenerationError):
+            calibrated_modal_ranking(table, {"Gender": 1.5}, rng=0)
+
+    def test_profile_presets_are_ordered(self):
+        table = paper_mallows_table(group_size=4)
+        scores = {}
+        for profile in FAIRNESS_PROFILES:
+            modal = profile_modal_ranking(table, profile, rng=9)
+            scores[profile] = parity_scores(modal, table)
+        assert scores["low"]["Gender"] > scores["medium"]["Gender"] > scores["high"]["Gender"]
+        assert (
+            scores["low"][CandidateTable.INTERSECTION]
+            > scores["high"][CandidateTable.INTERSECTION]
+        )
+
+    def test_profile_accepts_suffix(self):
+        table = small_mallows_table()
+        assert profile_modal_ranking(table, "Low-Fair", rng=1) is not None
+
+    def test_unknown_profile_rejected(self):
+        table = small_mallows_table()
+        with pytest.raises(DataGenerationError):
+            profile_modal_ranking(table, "ultra", rng=1)
+
+    def test_profile_requires_matching_attributes(self):
+        table = CandidateTable({"Location": ["N", "S", "N", "S"]})
+        with pytest.raises(DataGenerationError):
+            profile_modal_ranking(table, "low", rng=1)
+
+
+class TestParityTargetRelaxation:
+    def test_targets_are_upper_bounds(self):
+        table = small_mallows_table(group_size=2)
+        targets = {"Gender": 0.5, "Race": 0.6}
+        modal = modal_ranking_with_parity_targets(table, targets, rng=3)
+        scores = parity_scores(modal, table)
+        assert scores["Gender"] <= 0.5 + 1e-9
+        assert scores["Race"] <= 0.6 + 1e-9
+
+
+class TestDatasetGeneration:
+    def test_named_profile_dataset(self):
+        table = small_mallows_table(group_size=2)
+        dataset = generate_mallows_dataset(table, "medium", theta=0.5, n_rankings=10, rng=4)
+        assert dataset.name == "medium-fair"
+        assert dataset.rankings.n_rankings == 10
+        assert dataset.theta == 0.5
+        assert set(dataset.modal_parity) == set(table.all_fairness_entities())
+
+    def test_explicit_target_dataset(self):
+        table = small_mallows_table(group_size=2)
+        dataset = generate_mallows_dataset(
+            table, {"Gender": 0.3}, theta=0.5, n_rankings=5, rng=4, name="custom-gender"
+        )
+        assert dataset.name == "custom-gender"
+
+    def test_reproducibility(self):
+        table = small_mallows_table(group_size=2)
+        first = generate_mallows_dataset(table, "low", theta=0.5, n_rankings=5, rng=4)
+        second = generate_mallows_dataset(table, "low", theta=0.5, n_rankings=5, rng=4)
+        assert first.modal == second.modal
+        assert first.rankings.to_order_lists() == second.rankings.to_order_lists()

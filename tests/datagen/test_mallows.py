@@ -1,0 +1,101 @@
+"""Tests for the Mallows model sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distances import kendall_tau
+from repro.core.ranking import Ranking
+from repro.datagen.mallows import (
+    expected_kendall_distance,
+    mallows_normalization,
+    sample_mallows,
+    sample_mallows_ranking,
+)
+from repro.exceptions import DataGenerationError
+
+
+class TestSampling:
+    def test_samples_are_permutations(self, rng):
+        modal = Ranking.identity(15)
+        rankings = sample_mallows(modal, theta=0.5, n_rankings=20, rng=rng)
+        assert rankings.n_rankings == 20
+        for ranking in rankings:
+            assert sorted(ranking.to_list()) == list(range(15))
+
+    def test_large_theta_concentrates_on_modal(self, rng):
+        modal = Ranking([4, 2, 0, 3, 1])
+        for _ in range(10):
+            sample = sample_mallows_ranking(modal, theta=50.0, rng=rng)
+            assert sample == modal
+
+    def test_zero_theta_is_dispersed(self, rng):
+        modal = Ranking.identity(8)
+        rankings = sample_mallows(modal, theta=0.0, n_rankings=200, rng=rng)
+        mean_distance = np.mean([kendall_tau(modal, r) for r in rankings])
+        # Uniform permutations average n(n-1)/4 = 14 inversions.
+        assert mean_distance == pytest.approx(14.0, rel=0.15)
+
+    def test_higher_theta_means_smaller_distance(self, rng):
+        modal = Ranking.identity(12)
+        loose = sample_mallows(modal, theta=0.2, n_rankings=100, rng=rng)
+        tight = sample_mallows(modal, theta=1.5, n_rankings=100, rng=rng)
+        loose_mean = np.mean([kendall_tau(modal, r) for r in loose])
+        tight_mean = np.mean([kendall_tau(modal, r) for r in tight])
+        assert tight_mean < loose_mean
+
+    def test_mean_distance_matches_closed_form(self, rng):
+        modal = Ranking.identity(10)
+        theta = 0.7
+        rankings = sample_mallows(modal, theta, n_rankings=600, rng=rng)
+        empirical = np.mean([kendall_tau(modal, r) for r in rankings])
+        assert empirical == pytest.approx(expected_kendall_distance(10, theta), rel=0.1)
+
+    def test_seed_reproducibility(self):
+        modal = Ranking.identity(10)
+        first = sample_mallows(modal, 0.5, 5, rng=42)
+        second = sample_mallows(modal, 0.5, 5, rng=42)
+        assert first.to_order_lists() == second.to_order_lists()
+
+    def test_negative_theta_rejected(self, rng):
+        with pytest.raises(DataGenerationError):
+            sample_mallows_ranking(Ranking.identity(4), theta=-0.1, rng=rng)
+
+    def test_zero_rankings_rejected(self):
+        with pytest.raises(DataGenerationError):
+            sample_mallows(Ranking.identity(4), 0.5, 0)
+
+    def test_labels_generated(self):
+        rankings = sample_mallows(Ranking.identity(4), 0.5, 3, rng=0)
+        assert rankings.labels == ("mallows-1", "mallows-2", "mallows-3")
+
+
+class TestClosedForms:
+    def test_expected_distance_zero_theta(self):
+        assert expected_kendall_distance(8, 0.0) == pytest.approx(14.0)
+
+    def test_expected_distance_decreases_with_theta(self):
+        values = [expected_kendall_distance(20, theta) for theta in (0.1, 0.5, 1.0, 2.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_expected_distance_negative_theta_rejected(self):
+        with pytest.raises(DataGenerationError):
+            expected_kendall_distance(5, -1.0)
+
+    def test_normalization_zero_theta_is_factorial(self):
+        assert mallows_normalization(5, 0.0) == pytest.approx(120.0)
+
+    def test_normalization_positive_theta(self):
+        # psi(theta) = prod_i (1 - e^{-i theta}) / (1 - e^{-theta})
+        value = mallows_normalization(3, 1.0)
+        import math
+
+        expected = 1.0 * (1 - math.exp(-2)) / (1 - math.exp(-1)) * (1 - math.exp(-3)) / (
+            1 - math.exp(-1)
+        )
+        assert value == pytest.approx(expected)
+
+    def test_normalization_negative_theta_rejected(self):
+        with pytest.raises(DataGenerationError):
+            mallows_normalization(5, -0.5)

@@ -1,0 +1,93 @@
+"""Tests for the shared experiment harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import (
+    DEFAULT_THETAS,
+    SCALES,
+    evaluate_method,
+    methods_by_label,
+    record_from_evaluation,
+    require_scale,
+    theta_sweep_datasets,
+)
+from repro.exceptions import ExperimentError
+from repro.fair.registry import get_fair_method
+from repro.fairness.parity import mani_rank_satisfied
+
+
+class TestScale:
+    def test_valid_scales(self):
+        assert require_scale("ci") == "ci"
+        assert require_scale(" PAPER ") == "paper"
+        assert set(SCALES) == {"ci", "paper"}
+
+    def test_invalid_scale(self):
+        with pytest.raises(ExperimentError):
+            require_scale("huge")
+
+
+class TestEvaluateMethod:
+    def test_evaluation_fields(self, small_dataset):
+        method = get_fair_method("A3")
+        evaluation = evaluate_method(
+            method, small_dataset.rankings, small_dataset.table, 0.1
+        )
+        assert evaluation.method == "Fair-Borda"
+        assert 0.0 <= evaluation.pd_loss <= 1.0
+        assert evaluation.runtime_seconds > 0.0
+        assert evaluation.price_of_fairness is not None
+        assert mani_rank_satisfied(evaluation.ranking, small_dataset.table, 0.1)
+
+    def test_explicit_reference_used_for_pof(self, small_dataset):
+        method = get_fair_method("A3")
+        reference = small_dataset.rankings[0]
+        evaluation = evaluate_method(
+            method,
+            small_dataset.rankings,
+            small_dataset.table,
+            0.1,
+            reference_unaware=reference,
+        )
+        from repro.fairness.pd_loss import pd_loss, price_of_fairness
+
+        expected = price_of_fairness(small_dataset.rankings, evaluation.ranking, reference)
+        assert evaluation.price_of_fairness == pytest.approx(expected)
+
+    def test_record_from_evaluation_flattens(self, small_dataset):
+        method = get_fair_method("A3")
+        evaluation = evaluate_method(
+            method, small_dataset.rankings, small_dataset.table, 0.1
+        )
+        record = record_from_evaluation(evaluation, small_dataset.table, theta=0.6)
+        assert record["theta"] == 0.6
+        assert "ARP Gender" in record
+        assert "IRP" in record
+        assert record["method"] == "Fair-Borda"
+
+
+class TestThetaSweep:
+    def test_default_thetas(self):
+        assert DEFAULT_THETAS == (0.2, 0.4, 0.6, 0.8)
+
+    def test_sweep_shares_modal_ranking(self, small_table):
+        datasets = theta_sweep_datasets(small_table, "low", (0.2, 0.8), 10, seed=3)
+        assert len(datasets) == 2
+        assert datasets[0].modal == datasets[1].modal
+        assert datasets[0].theta == 0.2
+        assert datasets[1].theta == 0.8
+        assert datasets[0].rankings.n_rankings == 10
+
+    def test_sweep_is_reproducible(self, small_table):
+        first = theta_sweep_datasets(small_table, "low", (0.4,), 5, seed=3)
+        second = theta_sweep_datasets(small_table, "low", (0.4,), 5, seed=3)
+        assert first[0].rankings.to_order_lists() == second[0].rankings.to_order_lists()
+
+
+class TestMethodsByLabel:
+    def test_instantiates_requested_labels(self):
+        methods = methods_by_label(["A3", "B3"])
+        assert methods["A3"].name == "Fair-Borda"
+        assert methods["B3"].name == "Pick-Fairest-Perm"

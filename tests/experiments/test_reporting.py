@@ -1,0 +1,76 @@
+"""Tests for the experiment result container and ASCII reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ExperimentResult, format_cell, render_table
+
+
+class TestRenderTable:
+    def test_empty_records(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_basic_table(self):
+        text = render_table([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}])
+        assert "a" in text and "b" in text
+        assert "0.500" in text
+        assert text.count("\n") == 3  # header, separator, two rows
+
+    def test_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cell_renders_blank(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "b" in text
+
+    def test_format_cell(self):
+        assert format_cell(0.123456, 2) == "0.12"
+        assert format_cell(True) == "True"
+        assert format_cell("x") == "x"
+        assert format_cell(7) == "7"
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        result = ExperimentResult("demo", "Demo experiment", parameters={"delta": 0.1})
+        result.add(theta=0.2, method="A1", value=1.0)
+        result.add(theta=0.4, method="A1", value=2.0)
+        result.add(theta=0.2, method="B1", value=3.0)
+        return result
+
+    def test_columns_first_seen_order(self):
+        assert self._result().columns() == ["theta", "method", "value"]
+
+    def test_filtered(self):
+        assert len(self._result().filtered(method="A1")) == 2
+        assert self._result().filtered(method="A1", theta=0.4)[0]["value"] == 2.0
+
+    def test_series_extraction(self):
+        series = self._result().series("theta", "value", method="A1")
+        assert series == [(0.2, 1.0), (0.4, 2.0)]
+
+    def test_extend(self):
+        result = self._result()
+        result.extend([{"theta": 0.8, "method": "B1", "value": 4.0}])
+        assert len(result.records) == 4
+
+    def test_to_text_contains_parameters_and_notes(self):
+        result = self._result()
+        result.notes.append("a remark")
+        text = result.to_text()
+        assert "Demo experiment" in text
+        assert "delta=0.1" in text
+        assert "note: a remark" in text
+
+    def test_to_dict_and_save(self, tmp_path):
+        result = self._result()
+        payload = result.to_dict()
+        assert payload["experiment"] == "demo"
+        path = tmp_path / "result.json"
+        result.save(path)
+        import json
+
+        loaded = json.loads(path.read_text())
+        assert loaded["records"][0]["method"] == "A1"

@@ -1,0 +1,155 @@
+"""Tests for Fair-Kemeny (the MANI-Rank-constrained exact Kemeny ILP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import CandidateTable
+from repro.core.distances import kemeny_objective
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import AggregationError, InfeasibleProblemError
+from repro.fair.fair_kemeny import FairKemenyAggregator, add_parity_constraints
+from repro.fairness.parity import mani_rank_satisfied, parity_scores
+from repro.optimize.milp_backend import solve_linear_ordering
+from repro.optimize.model import LinearOrderingModel
+
+
+class TestFairKemeny:
+    def test_satisfies_mani_rank(self, tiny_table, tiny_rankings):
+        consensus = FairKemenyAggregator().aggregate(tiny_rankings, tiny_table, 0.35)
+        assert mani_rank_satisfied(consensus, tiny_table, 0.35)
+
+    def test_optimal_among_fair_rankings(self, tiny_table, tiny_rankings):
+        """Brute force check: no fair permutation has a lower Kemeny objective."""
+        from itertools import permutations
+
+        from repro.core.ranking import Ranking
+
+        delta = 0.35
+        result = FairKemenyAggregator(mip_rel_gap=None).aggregate_with_diagnostics(
+            tiny_rankings, tiny_table, delta
+        )
+        best_fair = min(
+            kemeny_objective(Ranking(list(order)), tiny_rankings)
+            for order in permutations(range(6))
+            if mani_rank_satisfied(Ranking(list(order)), tiny_table, delta)
+        )
+        assert result.diagnostics["objective"] == pytest.approx(best_fair)
+
+    def test_unconstrained_matches_plain_kemeny_with_loose_delta(
+        self, tiny_table, tiny_rankings
+    ):
+        from repro.aggregation.kemeny import KemenyAggregator
+
+        fair = FairKemenyAggregator(mip_rel_gap=None).aggregate_with_diagnostics(
+            tiny_rankings, tiny_table, 1.0
+        )
+        plain = KemenyAggregator().aggregate_with_diagnostics(tiny_rankings)
+        assert fair.diagnostics["objective"] == pytest.approx(plain.diagnostics["objective"])
+
+    def test_stricter_delta_never_decreases_objective(self, tiny_table, tiny_rankings):
+        objectives = []
+        for delta in (1.0, 0.5, 0.35):
+            result = FairKemenyAggregator(mip_rel_gap=None).aggregate_with_diagnostics(
+                tiny_rankings, tiny_table, delta
+            )
+            objectives.append(result.diagnostics["objective"])
+        assert objectives[0] <= objectives[1] <= objectives[2]
+
+    def test_infeasible_delta_raises(self):
+        # All-singleton intersectional groups force IRP = 1 for any ranking.
+        table = CandidateTable({"A": ["x", "x", "y", "y"], "B": ["u", "v", "u", "v"]})
+        rankings = RankingSet.from_orders([[0, 1, 2, 3]])
+        with pytest.raises(InfeasibleProblemError):
+            FairKemenyAggregator().aggregate(rankings, table, 0.5)
+
+    def test_per_entity_thresholds(self, tiny_table, tiny_rankings):
+        from repro.fairness.thresholds import FairnessThresholds
+
+        thresholds = FairnessThresholds(1.0, {"Gender": 0.4})
+        consensus = FairKemenyAggregator().aggregate(tiny_rankings, tiny_table, thresholds)
+        assert parity_scores(consensus, tiny_table)["Gender"] <= 0.4 + 1e-6
+
+    def test_universe_mismatch_rejected(self, tiny_table):
+        rankings = RankingSet.from_orders([[0, 1, 2]])
+        with pytest.raises(AggregationError):
+            FairKemenyAggregator().aggregate(rankings, tiny_table, 0.2)
+
+    def test_unknown_constraint_mode_rejected(self):
+        with pytest.raises(AggregationError):
+            FairKemenyAggregator(constraint_mode="everything")
+
+    def test_unknown_formulation_rejected(self):
+        with pytest.raises(AggregationError):
+            FairKemenyAggregator(formulation="quadratic")
+
+    def test_diagnostics_reported(self, tiny_table, tiny_rankings):
+        result = FairKemenyAggregator().aggregate_with_diagnostics(
+            tiny_rankings, tiny_table, 0.35
+        )
+        assert result.diagnostics["n_parity_constraints"] > 0
+        assert result.diagnostics["optimal"] in (True, False)
+        assert result.diagnostics["formulation"] == "minmax"
+
+
+class TestFormulations:
+    def test_minmax_and_pairwise_give_same_objective(self, tiny_table, tiny_rankings):
+        delta = 0.35
+        compact = FairKemenyAggregator(
+            formulation="minmax", mip_rel_gap=None
+        ).aggregate_with_diagnostics(tiny_rankings, tiny_table, delta)
+        pairwise = FairKemenyAggregator(
+            formulation="pairwise", mip_rel_gap=None
+        ).aggregate_with_diagnostics(tiny_rankings, tiny_table, delta)
+        assert compact.diagnostics["objective"] == pytest.approx(
+            pairwise.diagnostics["objective"]
+        )
+
+    def test_add_parity_constraints_counts(self, tiny_table, tiny_rankings):
+        model = LinearOrderingModel.from_precedence(tiny_rankings.precedence_matrix())
+        added = add_parity_constraints(model, tiny_table, "Race", 0.2, formulation="pairwise")
+        assert added == 1  # two race groups -> one pairwise constraint
+        model2 = LinearOrderingModel.from_precedence(tiny_rankings.precedence_matrix())
+        added2 = add_parity_constraints(model2, tiny_table, "Race", 0.2, formulation="minmax")
+        assert added2 == 2 * 2 + 1
+        assert model2.n_auxiliary == 2
+
+    def test_single_group_entity_adds_nothing(self, tiny_rankings):
+        table = CandidateTable(
+            {"Gender": ["M"] * 6}, domains={"Gender": ("M", "F")}
+        )
+        model = LinearOrderingModel.from_precedence(tiny_rankings.precedence_matrix())
+        assert add_parity_constraints(model, table, "Gender", 0.1) == 0
+
+
+class TestConstraintModes:
+    def test_attributes_only_leaves_intersection_unconstrained(self, tiny_table):
+        aggregator = FairKemenyAggregator(constraint_mode="attributes-only")
+        assert aggregator.constrained_entities(tiny_table) == ("Gender", "Race")
+        assert not aggregator.guarantees_mani_rank
+
+    def test_intersection_only(self, tiny_table):
+        aggregator = FairKemenyAggregator(constraint_mode="intersection-only")
+        assert aggregator.constrained_entities(tiny_table) == (tiny_table.INTERSECTION,)
+
+    def test_full_mani_rank(self, tiny_table):
+        aggregator = FairKemenyAggregator()
+        assert aggregator.constrained_entities(tiny_table) == (
+            "Gender",
+            "Race",
+            tiny_table.INTERSECTION,
+        )
+
+    def test_single_attribute_table_has_no_intersection_entity(self, single_attribute_table):
+        aggregator = FairKemenyAggregator()
+        assert aggregator.constrained_entities(single_attribute_table) == ("Gender",)
+
+    def test_attribute_only_consensus_respects_attribute_threshold(
+        self, tiny_table, tiny_rankings
+    ):
+        consensus = FairKemenyAggregator(constraint_mode="attributes-only").aggregate(
+            tiny_rankings, tiny_table, 0.35
+        )
+        scores = parity_scores(consensus, tiny_table)
+        assert scores["Gender"] <= 0.35 + 1e-6
+        assert scores["Race"] <= 0.35 + 1e-6

@@ -1,0 +1,113 @@
+"""Tests for the Make-MR-Fair post-processing algorithm (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.exceptions import AggregationError
+from repro.fair.make_mr_fair import make_mr_fair
+from repro.fairness.parity import mani_rank_satisfied, parity_scores
+from repro.fairness.pd_loss import pd_loss
+from repro.fairness.thresholds import FairnessThresholds
+
+
+class TestBasicCorrection:
+    def test_already_fair_ranking_is_unchanged(self, tiny_table):
+        ranking = Ranking([0, 2, 4, 1, 5, 3])
+        result = make_mr_fair(ranking, tiny_table, 1.0)
+        assert result.ranking == ranking
+        assert result.n_swaps == 0
+        assert result.converged
+
+    def test_biased_ranking_is_corrected(self, tiny_table, biased_ranking_for_tiny_table):
+        result = make_mr_fair(biased_ranking_for_tiny_table, tiny_table, 0.35)
+        assert mani_rank_satisfied(result.ranking, tiny_table, 0.35)
+        assert result.n_swaps > 0
+
+    def test_output_is_still_a_permutation(self, tiny_table, biased_ranking_for_tiny_table):
+        result = make_mr_fair(biased_ranking_for_tiny_table, tiny_table, 0.35)
+        assert sorted(result.ranking.to_list()) == list(range(6))
+
+    def test_input_ranking_not_mutated(self, tiny_table, biased_ranking_for_tiny_table):
+        original = biased_ranking_for_tiny_table.to_list()
+        make_mr_fair(biased_ranking_for_tiny_table, tiny_table, 0.35)
+        assert biased_ranking_for_tiny_table.to_list() == original
+
+    def test_corrected_entities_recorded(self, tiny_table, biased_ranking_for_tiny_table):
+        result = make_mr_fair(biased_ranking_for_tiny_table, tiny_table, 0.35)
+        assert len(result.corrected_entities) == result.n_swaps
+        assert set(result.corrected_entities) <= set(tiny_table.all_fairness_entities())
+
+    def test_universe_mismatch_rejected(self, tiny_table):
+        with pytest.raises(AggregationError):
+            make_mr_fair(Ranking([0, 1]), tiny_table, 0.1)
+
+    def test_per_entity_thresholds_respected(self, tiny_table, biased_ranking_for_tiny_table):
+        thresholds = FairnessThresholds(1.0, {"Gender": 0.4})
+        result = make_mr_fair(biased_ranking_for_tiny_table, tiny_table, thresholds)
+        scores = parity_scores(result.ranking, tiny_table)
+        assert scores["Gender"] <= 0.4 + 1e-9
+        # Unconstrained entities may stay unfair.
+        assert result.converged
+
+
+class TestConvergenceProperties:
+    def test_stricter_delta_costs_more_pd_loss(self, small_dataset):
+        from repro.aggregation.borda import BordaAggregator
+
+        seed = BordaAggregator().aggregate(small_dataset.rankings)
+        losses = {}
+        for delta in (0.5, 0.3, 0.1):
+            corrected = make_mr_fair(seed, small_dataset.table, delta)
+            losses[delta] = pd_loss(small_dataset.rankings, corrected.ranking)
+        # The greedy correction is not provably monotone swap-by-swap, but a
+        # clearly stricter threshold must not come out clearly cheaper.
+        assert losses[0.5] <= losses[0.1] + 0.02
+
+    def test_swap_budget_exhaustion_raises(self, tiny_table, biased_ranking_for_tiny_table):
+        with pytest.raises(AggregationError):
+            make_mr_fair(biased_ranking_for_tiny_table, tiny_table, 0.05, max_swaps=1)
+
+    def test_infeasible_singleton_intersection_raises(self):
+        table = CandidateTable({"A": ["x", "x", "y", "y"], "B": ["u", "v", "u", "v"]})
+        # All intersectional groups are singletons -> IRP is always 1.
+        with pytest.raises(AggregationError):
+            make_mr_fair(Ranking([0, 1, 2, 3]), table, 0.5)
+
+    def test_unbalanced_groups_converge(self, rng):
+        values = ["a"] * 12 + ["b"] * 3 + ["c"] * 5
+        rng.shuffle(values)
+        table = CandidateTable({"X": values})
+        for seed in range(3):
+            ranking = Ranking.random(20, np.random.default_rng(seed))
+            result = make_mr_fair(ranking, table, 0.15)
+            assert mani_rank_satisfied(result.ranking, table, 0.15)
+
+    @given(st.permutations(list(range(12))), st.sampled_from([0.15, 0.3, 0.5]))
+    @settings(max_examples=30, deadline=None)
+    def test_correction_reaches_threshold_on_balanced_table(self, order, delta):
+        table = CandidateTable(
+            {
+                "Gender": ["M", "W"] * 6,
+                "Race": ["A", "A", "B", "B", "C", "C"] * 2,
+            }
+        )
+        result = make_mr_fair(Ranking(list(order)), table, delta)
+        assert mani_rank_satisfied(result.ranking, table, delta)
+
+    def test_three_attribute_table(self, rng):
+        table = CandidateTable(
+            {
+                "Gender": ["M", "W"] * 8,
+                "Race": (["A"] * 4 + ["B"] * 4) * 2,
+                "Age": ["young"] * 8 + ["old"] * 8,
+            }
+        )
+        ranking = Ranking.random(16, rng)
+        result = make_mr_fair(ranking, table, 0.25)
+        assert mani_rank_satisfied(result.ranking, table, 0.25)

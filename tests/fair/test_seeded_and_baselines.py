@@ -1,0 +1,167 @@
+"""Tests for the seeded MFCR methods (Fair-Borda/Copeland/Schulze) and the baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation.borda import BordaAggregator
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import AggregationError
+from repro.fair.baselines import (
+    CorrectFairestPermBaseline,
+    KemenyWeightedBaseline,
+    PickFairestPermBaseline,
+    UnawareKemenyBaseline,
+    rank_base_rankings_by_fairness,
+    unfairness_score,
+)
+from repro.fair.registry import PAPER_LABELS, available_fair_methods, baseline_methods, get_fair_method, proposed_methods
+from repro.fair.seeded import (
+    FairBordaAggregator,
+    FairCopelandAggregator,
+    FairFootruleAggregator,
+    FairSchulzeAggregator,
+    SeededFairAggregator,
+)
+from repro.fairness.parity import mani_rank_satisfied, parity_scores
+from repro.fairness.pd_loss import pd_loss
+
+
+SEEDED_CLASSES = [
+    FairBordaAggregator,
+    FairCopelandAggregator,
+    FairSchulzeAggregator,
+    FairFootruleAggregator,
+]
+
+
+class TestSeededMethods:
+    @pytest.mark.parametrize("method_class", SEEDED_CLASSES)
+    def test_satisfies_mani_rank(self, method_class, small_dataset):
+        method = method_class()
+        consensus = method.aggregate(small_dataset.rankings, small_dataset.table, 0.1)
+        assert mani_rank_satisfied(consensus, small_dataset.table, 0.1)
+
+    @pytest.mark.parametrize("method_class", SEEDED_CLASSES)
+    def test_result_reports_seed_and_swaps(self, method_class, small_dataset):
+        result = method_class().aggregate_with_diagnostics(
+            small_dataset.rankings, small_dataset.table, 0.1
+        )
+        assert result.unaware_ranking is not None
+        assert result.diagnostics["n_swaps"] >= 0
+        assert result.method.startswith("Fair-")
+
+    def test_generic_seeded_wrapper_names_itself(self):
+        wrapped = SeededFairAggregator(BordaAggregator())
+        assert wrapped.name == "Fair-Borda"
+        assert wrapped.seed_aggregator.name == "Borda"
+
+    def test_loose_delta_returns_seed_consensus(self, small_dataset):
+        fair = FairBordaAggregator().aggregate_with_diagnostics(
+            small_dataset.rankings, small_dataset.table, 1.0
+        )
+        assert fair.ranking == fair.unaware_ranking
+        assert fair.diagnostics["n_swaps"] == 0
+
+    def test_fair_consensus_costs_pd_loss(self, small_dataset):
+        result = FairCopelandAggregator().aggregate_with_diagnostics(
+            small_dataset.rankings, small_dataset.table, 0.1
+        )
+        assert pd_loss(small_dataset.rankings, result.ranking) >= pd_loss(
+            small_dataset.rankings, result.unaware_ranking
+        ) - 1e-9
+
+    def test_guarantee_enforced_by_base_class(self, small_dataset):
+        class Broken(SeededFairAggregator):
+            def _aggregate(self, rankings, table, delta):
+                from repro.fair.base import FairAggregationResult
+
+                # Return the (unfair) seed without correcting it.
+                seed = self.seed_aggregator.aggregate(rankings)
+                return FairAggregationResult(ranking=seed, method=self.name)
+
+        broken = Broken(BordaAggregator(), name="Broken")
+        with pytest.raises(AggregationError):
+            broken.aggregate(small_dataset.rankings, small_dataset.table, 0.05)
+
+
+class TestFairnessOrderingHelpers:
+    def test_unfairness_score_is_max_parity(self, tiny_table, biased_ranking_for_tiny_table):
+        assert unfairness_score(biased_ranking_for_tiny_table, tiny_table) == max(
+            parity_scores(biased_ranking_for_tiny_table, tiny_table).values()
+        )
+
+    def test_rank_base_rankings_by_fairness_order(self, tiny_table):
+        biased = Ranking([0, 3, 5, 1, 2, 4])   # men block first
+        fairer = Ranking([0, 1, 3, 2, 5, 4])   # mixed
+        rankings = RankingSet([biased, fairer], labels=["biased", "fairer"])
+        order = rank_base_rankings_by_fairness(rankings, tiny_table)
+        assert order[0] == 0  # least fair first
+        assert order[-1] == 1
+
+
+class TestBaselines:
+    def test_unaware_kemeny_reports_itself_as_reference(self, tiny_table, tiny_rankings):
+        result = UnawareKemenyBaseline().aggregate_with_diagnostics(
+            tiny_rankings, tiny_table, 0.1
+        )
+        assert result.ranking == result.unaware_ranking
+        assert result.method == "Kemeny"
+
+    def test_pick_fairest_perm_returns_fairest_base(self, tiny_table):
+        biased = Ranking([0, 3, 5, 1, 2, 4])
+        fairer = Ranking([0, 1, 3, 2, 5, 4])
+        rankings = RankingSet([biased, fairer])
+        result = PickFairestPermBaseline().aggregate_with_diagnostics(
+            rankings, tiny_table, 0.1
+        )
+        assert result.ranking == fairer
+        assert result.diagnostics["selected_index"] == 1
+
+    def test_correct_fairest_perm_satisfies_threshold(self, small_dataset):
+        consensus = CorrectFairestPermBaseline().aggregate(
+            small_dataset.rankings, small_dataset.table, 0.1
+        )
+        assert mani_rank_satisfied(consensus, small_dataset.table, 0.1)
+
+    def test_kemeny_weighted_weights_fairest_highest(self, tiny_table):
+        biased = Ranking([0, 3, 5, 1, 2, 4])
+        fairer = Ranking([0, 1, 3, 2, 5, 4])
+        rankings = RankingSet([biased, fairer])
+        result = KemenyWeightedBaseline().aggregate_with_diagnostics(
+            rankings, tiny_table, 0.1
+        )
+        weights = result.diagnostics["weights"]
+        assert weights[1] > weights[0]
+        assert weights[1] == rankings.n_rankings
+
+    def test_baselines_do_not_promise_fairness(self):
+        assert not UnawareKemenyBaseline.guarantees_mani_rank
+        assert not KemenyWeightedBaseline.guarantees_mani_rank
+        assert not PickFairestPermBaseline.guarantees_mani_rank
+        assert CorrectFairestPermBaseline.guarantees_mani_rank
+
+
+class TestRegistry:
+    def test_paper_labels_cover_a_and_b_methods(self):
+        assert set(PAPER_LABELS) == {"A1", "A2", "A3", "A4", "B1", "B2", "B3", "B4"}
+
+    def test_label_lookup(self):
+        assert get_fair_method("A3").name == "Fair-Borda"
+        assert get_fair_method("b4").name == "Correct-Fairest-Perm"
+
+    def test_name_lookup(self):
+        assert get_fair_method("fair-schulze").name == "Fair-Schulze"
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(AggregationError):
+            get_fair_method("fair-bogus")
+
+    def test_proposed_and_baseline_collections(self):
+        assert set(proposed_methods()) == {"A1", "A2", "A3", "A4"}
+        assert set(baseline_methods()) == {"B1", "B2", "B3", "B4"}
+
+    def test_available_methods_all_instantiable(self):
+        for name in available_fair_methods():
+            assert get_fair_method(name).name

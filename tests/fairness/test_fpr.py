@@ -1,0 +1,111 @@
+"""Tests for the Favored Pair Representation (FPR) score (Definition 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.exceptions import FairnessError
+from repro.fairness.fpr import PARITY_TARGET, fpr, fpr_by_group, fpr_of_members, fpr_table, fpr_vector
+
+
+class TestFprBasics:
+    def test_group_entirely_at_top_scores_one(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])  # all men first
+        men = tiny_table.group("Gender", "Man")
+        assert fpr(ranking, men) == 1.0
+
+    def test_group_entirely_at_bottom_scores_zero(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        women = tiny_table.group("Gender", "Woman")
+        assert fpr(ranking, women) == 0.0
+
+    def test_perfectly_alternating_groups_score_near_half(self):
+        table = CandidateTable({"Gender": ["M", "F"] * 4})
+        ranking = Ranking(list(range(8)))  # alternates M, F, M, F ...
+        scores = fpr_by_group(ranking, table, "Gender")
+        # Alternating placement is as close to parity as a strict order allows.
+        assert scores["Gender=M"] == pytest.approx(0.625)
+        assert scores["Gender=F"] == pytest.approx(0.375)
+
+    def test_parity_target_constant(self):
+        assert PARITY_TARGET == 0.5
+
+    def test_fpr_range_is_unit_interval(self, tiny_table):
+        for seed in range(5):
+            ranking = Ranking.random(6, np.random.default_rng(seed))
+            for attribute in tiny_table.all_fairness_entities():
+                for score in fpr_by_group(ranking, tiny_table, attribute).values():
+                    assert 0.0 <= score <= 1.0
+
+    def test_whole_universe_group_rejected(self):
+        ranking = Ranking([0, 1, 2])
+        with pytest.raises(FairnessError):
+            fpr_of_members(ranking, [0, 1, 2])
+
+    def test_empty_group_rejected(self):
+        ranking = Ranking([0, 1, 2])
+        with pytest.raises(FairnessError):
+            fpr_of_members(ranking, [])
+
+    def test_mismatched_table_and_ranking(self, tiny_table):
+        with pytest.raises(FairnessError):
+            fpr_by_group(Ranking([0, 1]), tiny_table, "Gender")
+
+    def test_single_group_attribute_rejected(self):
+        table = CandidateTable(
+            {"Gender": ["M", "M", "M"]}, domains={"Gender": ("M", "F")}
+        )
+        ranking = Ranking([0, 1, 2])
+        with pytest.raises(FairnessError):
+            fpr_by_group(ranking, table, "Gender")
+
+
+class TestFprComputation:
+    def test_sizes_do_not_distort_parity_interpretation(self):
+        """A small and a large group placed 'proportionally' both score ~0.5."""
+        table = CandidateTable({"X": ["a", "b", "b", "b", "a", "b", "b", "b"]})
+        # Place the two 'a' members at positions 1 and 5 (0-based 0 and 4):
+        ranking = Ranking([0, 1, 2, 3, 4, 5, 6, 7])
+        scores = fpr_by_group(ranking, table, "X")
+        assert scores["X=a"] == pytest.approx(0.75)
+        assert scores["X=b"] == pytest.approx(0.25)
+
+    def test_fpr_vector_matches_by_group(self, tiny_table):
+        ranking = Ranking([4, 2, 0, 5, 1, 3])
+        vector = fpr_vector(ranking, tiny_table, "Race")
+        mapping = fpr_by_group(ranking, tiny_table, "Race")
+        groups = tiny_table.groups("Race")
+        for index, group in enumerate(groups):
+            assert vector[index] == pytest.approx(mapping[group.label])
+
+    def test_fpr_table_covers_all_entities(self, tiny_table):
+        ranking = Ranking([0, 1, 2, 3, 4, 5])
+        table = fpr_table(ranking, tiny_table)
+        assert set(table) == {"Gender", "Race", CandidateTable.INTERSECTION}
+
+    def test_intersection_group_scores(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        scores = fpr_by_group(ranking, tiny_table, CandidateTable.INTERSECTION)
+        assert len(scores) == 4
+
+    def test_reversing_ranking_reflects_fpr_around_half(self, tiny_table):
+        ranking = Ranking([4, 2, 0, 5, 1, 3])
+        for attribute in ("Gender", "Race"):
+            forward = fpr_vector(ranking, tiny_table, attribute)
+            backward = fpr_vector(ranking.reversed(), tiny_table, attribute)
+            assert np.allclose(forward + backward, 1.0)
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=60, deadline=None)
+    def test_group_size_weighted_fpr_sums_to_half_for_binary_partition(self, order):
+        """For a 2-group partition the mixed pairs split between the groups."""
+        table = CandidateTable({"X": ["a", "a", "a", "b", "b", "b"]})
+        ranking = Ranking(list(order))
+        scores = fpr_vector(ranking, table, "X")
+        # With equal group sizes (same denominator), FPR_a + FPR_b = 1.
+        assert scores.sum() == pytest.approx(1.0)

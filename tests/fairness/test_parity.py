@@ -1,0 +1,134 @@
+"""Tests for ARP, IRP and the MANI-Rank criteria (Definitions 5-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.fairness.parity import (
+    arp,
+    evaluate_mani_rank,
+    irp,
+    mani_rank_satisfied,
+    mani_rank_violations,
+    parity_scores,
+)
+from repro.fairness.thresholds import FairnessThresholds
+
+
+class TestArp:
+    def test_maximally_biased_ranking_has_arp_one(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])  # men block above women block
+        assert arp(ranking, tiny_table, "Gender") == pytest.approx(1.0)
+
+    def test_arp_zero_requires_equal_fpr(self):
+        table = CandidateTable({"X": ["a", "b", "b", "a"]})
+        # A symmetric placement (a at positions 0 and 3, b at 1 and 2) gives
+        # both groups FPR exactly 0.5.
+        ranking = Ranking([0, 1, 2, 3])
+        assert arp(ranking, table, "X") == pytest.approx(0.0)
+
+    def test_arp_bounds(self, tiny_table, rng):
+        for _ in range(10):
+            ranking = Ranking.random(6, rng)
+            for entity in tiny_table.all_fairness_entities():
+                assert 0.0 <= arp(ranking, tiny_table, entity) <= 1.0
+
+    def test_arp_multivalued_attribute(self, tiny_table):
+        ranking = Ranking([0, 1, 4, 2, 3, 5])  # race A block above race B block
+        assert arp(ranking, tiny_table, "Race") == pytest.approx(1.0)
+
+    def test_arp_is_max_pairwise_gap(self):
+        table = CandidateTable({"X": ["a", "a", "b", "b", "c", "c"]})
+        ranking = Ranking([0, 1, 2, 3, 4, 5])
+        from repro.fairness.fpr import fpr_vector
+
+        scores = fpr_vector(ranking, table, "X")
+        assert arp(ranking, table, "X") == pytest.approx(scores.max() - scores.min())
+
+
+class TestIrp:
+    def test_irp_uses_intersection(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        assert irp(ranking, tiny_table) == arp(
+            ranking, tiny_table, CandidateTable.INTERSECTION
+        )
+
+    def test_irp_single_attribute_degenerates_to_arp(self, single_attribute_table):
+        ranking = Ranking([0, 2, 1, 3])
+        assert irp(ranking, single_attribute_table) == arp(
+            ranking, single_attribute_table, "Gender"
+        )
+
+    def test_singleton_intersection_groups_force_irp_one(self):
+        """With all-singleton intersectional groups, IRP is 1 in any strict ranking."""
+        table = CandidateTable(
+            {"A": ["x", "x", "y", "y"], "B": ["u", "v", "u", "v"]}
+        )
+        for order in ([0, 1, 2, 3], [3, 1, 0, 2]):
+            assert irp(Ranking(order), table) == pytest.approx(1.0)
+
+
+class TestManiRank:
+    def test_parity_scores_keys(self, tiny_table):
+        scores = parity_scores(Ranking([0, 1, 2, 3, 4, 5]), tiny_table)
+        assert set(scores) == {"Gender", "Race", CandidateTable.INTERSECTION}
+
+    def test_biased_ranking_violates(self, tiny_table, biased_ranking_for_tiny_table):
+        assert not mani_rank_satisfied(biased_ranking_for_tiny_table, tiny_table, 0.1)
+        violations = mani_rank_violations(biased_ranking_for_tiny_table, tiny_table, 0.1)
+        assert "Gender" in violations
+
+    def test_loose_threshold_always_satisfied(self, tiny_table, rng):
+        for _ in range(5):
+            ranking = Ranking.random(6, rng)
+            assert mani_rank_satisfied(ranking, tiny_table, 1.0)
+
+    def test_per_entity_thresholds(self, tiny_table, biased_ranking_for_tiny_table):
+        thresholds = FairnessThresholds(1.0, {"Gender": 0.5})
+        violations = mani_rank_violations(
+            biased_ranking_for_tiny_table, tiny_table, thresholds
+        )
+        assert set(violations) == {"Gender"}
+
+    def test_threshold_boundary_counts_as_satisfied(self, tiny_table):
+        ranking = Ranking([0, 1, 2, 3, 4, 5])
+        scores = parity_scores(ranking, tiny_table)
+        exact = FairnessThresholds(1.0, {entity: score for entity, score in scores.items()})
+        assert mani_rank_satisfied(ranking, tiny_table, exact)
+
+    def test_evaluate_mani_rank_report(self, tiny_table, biased_ranking_for_tiny_table):
+        report = evaluate_mani_rank(biased_ranking_for_tiny_table, tiny_table, 0.2)
+        assert not report.satisfied
+        assert report.max_violation > 0
+        assert set(report.parity) == set(report.thresholds)
+        rows = report.entity_scores()
+        assert len(rows) == 3
+        assert any(not ok for _, _, _, ok in rows)
+
+    def test_evaluate_mani_rank_satisfied_report(self, tiny_table):
+        # Parity-friendly ranking: alternate groups.
+        ranking = Ranking([0, 2, 4, 1, 5, 3])
+        report = evaluate_mani_rank(ranking, tiny_table, 1.0)
+        assert report.satisfied
+        assert report.max_violation == 0.0
+
+    @given(st.permutations(list(range(6))), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_violations_consistent_with_satisfied(self, order, delta):
+        table = CandidateTable(
+            {
+                "Gender": ["Man", "Woman", "Woman", "Man", "Woman", "Man"],
+                "Race": ["A", "A", "B", "B", "A", "B"],
+            }
+        )
+        ranking = Ranking(list(order))
+        satisfied = mani_rank_satisfied(ranking, table, delta)
+        violations = mani_rank_violations(ranking, table, delta)
+        assert satisfied == (not violations)
+        for entity, score in violations.items():
+            assert score > delta

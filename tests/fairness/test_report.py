@@ -1,0 +1,70 @@
+"""Tests for the FairnessTable report (Table IV/V layout)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.fairness.report import FairnessTable, fairness_row, format_float
+
+
+class TestFairnessRow:
+    def test_row_contains_groups_attributes_and_irp(self, tiny_table):
+        row = fairness_row(Ranking([0, 1, 2, 3, 4, 5]), tiny_table)
+        assert "Gender=Man" in row
+        assert "Race=B" in row
+        assert "Gender" in row
+        assert "IRP" in row
+
+    def test_row_values_consistent_with_parity(self, tiny_table, biased_ranking_for_tiny_table):
+        row = fairness_row(biased_ranking_for_tiny_table, tiny_table)
+        assert row["Gender"] == pytest.approx(1.0)
+        assert row["Gender=Man"] == pytest.approx(1.0)
+        assert row["Gender=Woman"] == pytest.approx(0.0)
+
+    def test_single_attribute_row_irp_falls_back_to_arp(self, single_attribute_table):
+        row = fairness_row(Ranking([0, 1, 2, 3]), single_attribute_table)
+        assert row["IRP"] == row["Gender"]
+
+
+class TestFairnessTable:
+    def test_from_rankings_with_mapping(self, tiny_table, tiny_rankings):
+        table = FairnessTable.from_rankings(
+            tiny_table, {"first": tiny_rankings[0], "second": tiny_rankings[1]}
+        )
+        assert table.row_labels == ["first", "second"]
+        assert len(table.rows) == 2
+
+    def test_from_rankings_with_pairs(self, tiny_table, tiny_rankings):
+        table = FairnessTable.from_rankings(
+            tiny_table, [("a", tiny_rankings[0]), ("b", tiny_rankings[1])]
+        )
+        assert table.row_labels == ["a", "b"]
+
+    def test_row_lookup(self, tiny_table, tiny_rankings):
+        table = FairnessTable.from_rankings(tiny_table, {"a": tiny_rankings[0]})
+        assert table.row("a") == table.rows[0]
+
+    def test_to_records_includes_label(self, tiny_table, tiny_rankings):
+        table = FairnessTable.from_rankings(tiny_table, {"a": tiny_rankings[0]})
+        records = table.to_records()
+        assert records[0]["ranking"] == "a"
+
+    def test_to_text_renders_all_columns(self, tiny_table, tiny_rankings):
+        table = FairnessTable.from_rankings(tiny_table, {"a": tiny_rankings[0]})
+        text = table.to_text()
+        assert "Ranking" in text
+        assert "IRP" in text
+        assert "a" in text
+
+    def test_columns_order_groups_then_attributes(self, tiny_table, tiny_rankings):
+        table = FairnessTable.from_rankings(tiny_table, {"a": tiny_rankings[0]})
+        columns = table.columns
+        assert columns[-1] == "IRP"
+        assert columns.index("Gender=Man") < columns.index("Gender")
+
+
+class TestFormatting:
+    def test_format_float(self):
+        assert format_float(0.125, 2) == "0.12"
+        assert format_float(1.0) == "1.00"

@@ -1,0 +1,83 @@
+"""Tests for the FairnessThresholds (Δ) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import CandidateTable
+from repro.exceptions import ValidationError
+from repro.fairness.thresholds import FairnessThresholds
+
+
+class TestConstruction:
+    def test_scalar_threshold(self):
+        thresholds = FairnessThresholds(0.1)
+        assert thresholds.default == 0.1
+        assert thresholds.threshold_for("anything") == 0.1
+
+    def test_per_entity_overrides(self):
+        thresholds = FairnessThresholds(0.2, {"Race": 0.05})
+        assert thresholds.threshold_for("Race") == 0.05
+        assert thresholds.threshold_for("Gender") == 0.2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            FairnessThresholds(1.5)
+        with pytest.raises(ValidationError):
+            FairnessThresholds(-0.1)
+        with pytest.raises(ValidationError):
+            FairnessThresholds(0.1, {"Race": 2.0})
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            FairnessThresholds("strict")  # type: ignore[arg-type]
+
+    def test_strictest(self):
+        thresholds = FairnessThresholds(0.3, {"Race": 0.05, "Gender": 0.4})
+        assert thresholds.strictest() == 0.05
+
+    def test_equality_and_hash(self):
+        assert FairnessThresholds(0.1, {"Race": 0.05}) == FairnessThresholds(
+            0.1, {"Race": 0.05}
+        )
+        assert FairnessThresholds(0.1) != FairnessThresholds(0.2)
+        assert hash(FairnessThresholds(0.1)) == hash(FairnessThresholds(0.1))
+
+    def test_repr(self):
+        assert "0.1" in repr(FairnessThresholds(0.1))
+        assert "Race" in repr(FairnessThresholds(0.1, {"Race": 0.05}))
+
+
+class TestCoercion:
+    def test_coerce_scalar(self):
+        assert FairnessThresholds.coerce(0.25).default == 0.25
+
+    def test_coerce_mapping_with_default(self):
+        thresholds = FairnessThresholds.coerce({"default": 0.2, "Race": 0.05})
+        assert thresholds.default == 0.2
+        assert thresholds.threshold_for("Race") == 0.05
+
+    def test_coerce_mapping_without_default_is_permissive(self):
+        thresholds = FairnessThresholds.coerce({"Race": 0.05})
+        assert thresholds.default == 1.0
+
+    def test_coerce_passthrough(self):
+        original = FairnessThresholds(0.1)
+        assert FairnessThresholds.coerce(original) is original
+
+
+class TestTableIntegration:
+    def test_as_mapping_covers_all_entities(self, tiny_table):
+        thresholds = FairnessThresholds(0.1, {"Race": 0.05})
+        mapping = thresholds.as_mapping(tiny_table)
+        assert mapping == {
+            "Gender": 0.1,
+            "Race": 0.05,
+            CandidateTable.INTERSECTION: 0.1,
+        }
+
+    def test_per_entity_copy_is_detached(self):
+        thresholds = FairnessThresholds(0.1, {"Race": 0.05})
+        mapping = thresholds.per_entity
+        mapping["Race"] = 0.9
+        assert thresholds.threshold_for("Race") == 0.05

@@ -1,0 +1,66 @@
+"""Tests for CSV persistence of candidate tables and ranking sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io.csv_io import (
+    read_candidate_table,
+    read_ranking_set,
+    write_candidate_table,
+    write_ranking_set,
+)
+
+
+class TestCandidateTableCsv:
+    def test_round_trip(self, tmp_path, tiny_table):
+        path = tmp_path / "candidates.csv"
+        write_candidate_table(tiny_table, path)
+        loaded = read_candidate_table(path)
+        assert loaded == tiny_table
+
+    def test_missing_name_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("Gender,Race\nM,A\n")
+        with pytest.raises(ValidationError):
+            read_candidate_table(path)
+
+    def test_no_attribute_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name\nalice\n")
+        with pytest.raises(ValidationError):
+            read_candidate_table(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("name,Gender\n")
+        with pytest.raises(ValidationError):
+            read_candidate_table(path)
+
+
+class TestRankingSetCsv:
+    def test_round_trip(self, tmp_path, tiny_table, tiny_rankings):
+        path = tmp_path / "rankings.csv"
+        write_ranking_set(tiny_rankings, tiny_table, path)
+        loaded = read_ranking_set(path, tiny_table)
+        assert loaded.to_order_lists() == tiny_rankings.to_order_lists()
+        assert loaded.labels == tiny_rankings.labels
+
+    def test_bad_header_rejected(self, tmp_path, tiny_table):
+        path = tmp_path / "bad.csv"
+        path.write_text("ranker,1,2\nmath,c0,c1\n")
+        with pytest.raises(ValidationError):
+            read_ranking_set(path, tiny_table)
+
+    def test_empty_rankings_rejected(self, tmp_path, tiny_table):
+        path = tmp_path / "empty.csv"
+        path.write_text("label,1,2,3,4,5,6\n")
+        with pytest.raises(ValidationError):
+            read_ranking_set(path, tiny_table)
+
+    def test_unknown_candidate_name_rejected(self, tmp_path, tiny_table):
+        path = tmp_path / "bad.csv"
+        path.write_text("label,1,2,3,4,5,6\nr1,c0,c1,c2,c3,c4,nobody\n")
+        with pytest.raises(Exception):
+            read_ranking_set(path, tiny_table)

@@ -1,0 +1,60 @@
+"""Tests for the pure-Python branch-and-bound Kemeny solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import kemeny_objective
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import ValidationError
+from repro.optimize.branch_and_bound import MAX_CANDIDATES, branch_and_bound_kemeny
+from repro.optimize.milp_backend import solve_linear_ordering
+from repro.optimize.model import LinearOrderingModel
+
+
+class TestBranchAndBound:
+    def test_single_candidate(self):
+        ranking, cost = branch_and_bound_kemeny([[0.0]])
+        assert ranking.to_list() == [0]
+        assert cost == 0.0
+
+    def test_unanimous_rankings(self):
+        rankings = RankingSet.from_orders([[2, 0, 1]] * 4)
+        ranking, cost = branch_and_bound_kemeny(rankings.precedence_matrix())
+        assert ranking == Ranking([2, 0, 1])
+        assert cost == 0.0
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValidationError):
+            branch_and_bound_kemeny([[0.0, 1.0]])
+
+    def test_rejects_oversized_instances(self):
+        import numpy as np
+
+        n = MAX_CANDIDATES + 1
+        with pytest.raises(ValidationError):
+            branch_and_bound_kemeny(np.zeros((n, n)))
+
+    def test_warm_start_does_not_change_optimum(self, tiny_rankings):
+        precedence = tiny_rankings.precedence_matrix()
+        cold_ranking, cold_cost = branch_and_bound_kemeny(precedence)
+        warm_ranking, warm_cost = branch_and_bound_kemeny(
+            precedence,
+            initial_upper_bound=kemeny_objective(Ranking.identity(6), tiny_rankings),
+            initial_ranking=Ranking.identity(6),
+        )
+        assert cold_cost == warm_cost
+        assert kemeny_objective(warm_ranking, tiny_rankings) == warm_cost
+
+    @given(st.lists(st.permutations(list(range(6))), min_size=2, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_milp_backend(self, orders):
+        rankings = RankingSet.from_orders(orders)
+        precedence = rankings.precedence_matrix()
+        _, bb_cost = branch_and_bound_kemeny(precedence)
+        model = LinearOrderingModel.from_precedence(precedence)
+        milp_solution = solve_linear_ordering(model, lazy=False)
+        assert bb_cost == pytest.approx(milp_solution.objective)

@@ -1,0 +1,93 @@
+"""Tests for the HiGHS MILP backend (eager and lazy triangle generation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distances import kemeny_objective
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import InfeasibleProblemError, SolverError
+from repro.optimize.milp_backend import solve_linear_ordering
+from repro.optimize.model import LinearOrderingModel
+
+
+def brute_force_kemeny(rankings: RankingSet) -> float:
+    """Exact Kemeny objective by enumerating all permutations (tiny n only)."""
+    from itertools import permutations
+
+    best = float("inf")
+    for order in permutations(range(rankings.n_candidates)):
+        cost = kemeny_objective(Ranking(list(order)), rankings)
+        best = min(best, cost)
+    return best
+
+
+class TestUnconstrainedSolve:
+    @pytest.mark.parametrize("lazy", [True, False, None])
+    def test_matches_brute_force(self, lazy):
+        rankings = RankingSet.from_orders(
+            [[0, 1, 2, 3, 4], [1, 0, 3, 2, 4], [0, 2, 1, 4, 3], [4, 1, 0, 2, 3]]
+        )
+        model = LinearOrderingModel.from_precedence(rankings.precedence_matrix())
+        solution = solve_linear_ordering(model, lazy=lazy)
+        assert solution.optimal
+        assert solution.objective == pytest.approx(brute_force_kemeny(rankings))
+        ranking = model.assignment_to_ranking(solution.assignment)
+        assert kemeny_objective(ranking, rankings) == pytest.approx(solution.objective)
+
+    def test_unanimous_rankings_recovered_exactly(self):
+        rankings = RankingSet.from_orders([[3, 1, 4, 0, 2]] * 5)
+        model = LinearOrderingModel.from_precedence(rankings.precedence_matrix())
+        solution = solve_linear_ordering(model)
+        ranking = model.assignment_to_ranking(solution.assignment)
+        assert ranking == Ranking([3, 1, 4, 0, 2])
+
+    def test_lazy_reports_rounds_and_constraints(self, tiny_rankings):
+        model = LinearOrderingModel.from_precedence(tiny_rankings.precedence_matrix())
+        solution = solve_linear_ordering(model, lazy=True)
+        assert solution.rounds >= 1
+        assert solution.n_lazy_constraints >= 0
+
+    def test_eager_counts_all_triangles(self, tiny_rankings):
+        model = LinearOrderingModel.from_precedence(tiny_rankings.precedence_matrix())
+        solution = solve_linear_ordering(model, lazy=False)
+        assert solution.n_lazy_constraints == 2 * len(model.all_triples())
+
+
+class TestConstrainedSolve:
+    def test_extra_constraint_changes_solution(self):
+        rankings = RankingSet.from_orders([[0, 1, 2]] * 3)
+        model = LinearOrderingModel.from_precedence(rankings.precedence_matrix())
+        # Force candidate 2 above candidate 0: Y[2, 0] = 1.
+        model.add_constraint({(2, 0): 1.0}, lower=1.0, upper=1.0)
+        solution = solve_linear_ordering(model, lazy=False)
+        ranking = model.assignment_to_ranking(solution.assignment)
+        assert ranking.prefers(2, 0)
+
+    def test_infeasible_constraints_raise(self):
+        rankings = RankingSet.from_orders([[0, 1, 2]] * 2)
+        model = LinearOrderingModel.from_precedence(rankings.precedence_matrix())
+        model.add_constraint({(0, 1): 1.0}, lower=1.0, upper=1.0)
+        model.add_constraint({(1, 0): 1.0}, lower=1.0, upper=1.0)
+        with pytest.raises(InfeasibleProblemError):
+            solve_linear_ordering(model, lazy=False)
+
+    def test_auxiliary_variable_constraint(self):
+        rankings = RankingSet.from_orders([[0, 1, 2], [2, 1, 0]])
+        model = LinearOrderingModel.from_precedence(rankings.precedence_matrix())
+        aux = model.add_auxiliary_variable(0.0, 1.0)
+        # aux >= Y[0, 1] and aux <= 0.0 forces Y[0, 1] = 0 (candidate 1 above 0).
+        model.add_constraint({(0, 1): 1.0}, lower=-np.inf, upper=0.0, auxiliary_coefficients={aux: -1.0})
+        model.add_constraint({}, lower=-np.inf, upper=0.0, auxiliary_coefficients={aux: 1.0})
+        solution = solve_linear_ordering(model, lazy=False)
+        ranking = model.assignment_to_ranking(solution.assignment)
+        assert ranking.prefers(1, 0)
+
+    def test_max_rounds_exhaustion_raises(self):
+        rankings = RankingSet.from_orders([[0, 1, 2], [1, 2, 0], [2, 0, 1]])
+        model = LinearOrderingModel.from_precedence(rankings.precedence_matrix())
+        # A Condorcet cycle needs at least one cutting-plane round; forbid any.
+        with pytest.raises(SolverError):
+            solve_linear_ordering(model, lazy=True, max_rounds=0)

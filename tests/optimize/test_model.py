@@ -1,0 +1,124 @@
+"""Tests for the linear-ordering ILP model builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.exceptions import SolverError, ValidationError
+from repro.optimize.model import LinearOrderingModel, PairVariableIndex
+
+
+class TestPairVariableIndex:
+    def test_variable_count(self):
+        index = PairVariableIndex(5)
+        assert index.n_variables == 10
+        assert index.n_candidates == 5
+
+    def test_minimum_two_candidates(self):
+        with pytest.raises(ValidationError):
+            PairVariableIndex(1)
+
+    def test_forward_and_complement_lookup(self):
+        index = PairVariableIndex(3)
+        var_ab, sign_ab, offset_ab = index.variable(0, 2)
+        var_ba, sign_ba, offset_ba = index.variable(2, 0)
+        assert var_ab == var_ba
+        assert (sign_ab, offset_ab) == (1.0, 0.0)
+        assert (sign_ba, offset_ba) == (-1.0, 1.0)
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValidationError):
+            PairVariableIndex(3).variable(1, 1)
+
+    def test_pairs_enumeration(self):
+        assert PairVariableIndex(3).pairs == ((0, 1), (0, 2), (1, 2))
+
+
+class TestModelConstruction:
+    def test_from_precedence_objective(self):
+        precedence = np.array([[0.0, 2.0], [1.0, 0.0]])
+        model = LinearOrderingModel.from_precedence(precedence)
+        # Reduced coefficient for x_01 is W[0,1] - W[1,0] = 1, constant W[1,0] = 1.
+        assert model.objective.tolist() == [1.0]
+        assert model.objective_constant == 1.0
+
+    def test_from_precedence_requires_square(self):
+        with pytest.raises(ValidationError):
+            LinearOrderingModel.from_precedence(np.zeros((2, 3)))
+
+    def test_objective_value_matches_kemeny_cost(self, tiny_rankings):
+        model = LinearOrderingModel.from_precedence(tiny_rankings.precedence_matrix())
+        ranking = Ranking([0, 1, 2, 3, 4, 5])
+        assignment = model.ranking_to_assignment(ranking)
+        from repro.core.distances import kemeny_objective
+
+        assert model.objective_value(assignment) == pytest.approx(
+            kemeny_objective(ranking, tiny_rankings)
+        )
+
+    def test_ranking_assignment_round_trip(self, tiny_rankings):
+        model = LinearOrderingModel.from_precedence(tiny_rankings.precedence_matrix())
+        ranking = Ranking([3, 0, 5, 1, 4, 2])
+        assignment = model.ranking_to_assignment(ranking)
+        assert model.assignment_to_ranking(assignment) == ranking
+
+    def test_assignment_to_ranking_rejects_cycles(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((3, 3)))
+        # 0 beats 1, 1 beats 2, 2 beats 0: a cycle.
+        assignment = np.array([1.0, 0.0, 1.0])
+        with pytest.raises(SolverError):
+            model.assignment_to_ranking(assignment)
+
+    def test_violated_triples_detects_cycle(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((3, 3)))
+        cyclic = np.array([1.0, 0.0, 1.0])
+        assert model.violated_triples(cyclic) == [(0, 1, 2)]
+
+    def test_transitive_assignment_has_no_violations(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((4, 4)))
+        assignment = model.ranking_to_assignment(Ranking([2, 0, 3, 1]))
+        assert model.violated_triples(assignment) == []
+
+    def test_all_triples_count(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((5, 5)))
+        assert len(model.all_triples()) == 10
+
+    def test_triangle_constraint_rows_shapes(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((4, 4)))
+        triples = model.all_triples()
+        rows, cols, values, upper = model.triangle_constraint_rows(triples)
+        assert len(upper) == 2 * len(triples)
+        assert rows.shape == cols.shape == values.shape
+
+
+class TestConstraintsAndAuxiliaries:
+    def test_add_constraint_with_complement_offset(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((3, 3)))
+        # Y[1, 0] <= 0.4  becomes  -x_01 <= -0.6 after substitution.
+        model.add_constraint({(1, 0): 1.0}, lower=-np.inf, upper=0.4)
+        spec = model.extra_constraints[0]
+        assert spec.upper == pytest.approx(-0.6)
+
+    def test_add_auxiliary_variable_ids(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((3, 3)))
+        first = model.add_auxiliary_variable(0.0, 1.0)
+        second = model.add_auxiliary_variable(-1.0, 2.0)
+        assert first == model.index.n_variables
+        assert second == first + 1
+        assert model.n_auxiliary == 2
+        assert model.n_total_variables == model.index.n_variables + 2
+
+    def test_constraint_with_unknown_auxiliary_rejected(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((3, 3)))
+        with pytest.raises(ValidationError):
+            model.add_constraint({}, lower=0, upper=1, auxiliary_coefficients={99: 1.0})
+
+    def test_objective_ignores_auxiliary_suffix(self):
+        model = LinearOrderingModel.from_precedence(np.zeros((3, 3)))
+        model.add_auxiliary_variable()
+        assignment = np.concatenate(
+            [model.ranking_to_assignment(Ranking([0, 1, 2])), [0.7]]
+        )
+        assert model.objective_value(assignment) == pytest.approx(0.0)

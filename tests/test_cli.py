@@ -1,0 +1,73 @@
+"""Tests for the mani-rank command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.csv_io import write_candidate_table, write_ranking_set
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.scale == "ci"
+        assert args.experiment == "table1"
+
+    def test_aggregate_defaults(self):
+        args = build_parser().parse_args(["aggregate", "r.csv", "c.csv"])
+        assert args.method == "fair-borda"
+        assert args.delta == 0.1
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure4" in output
+        assert "fair-kemeny" in output
+
+    def test_run_table1_and_save(self, tmp_path, capsys):
+        output_path = tmp_path / "table1.json"
+        assert main(["run", "table1", "--output", str(output_path), "--quiet"]) == 0
+        payload = json.loads(output_path.read_text())
+        assert payload["experiment"] == "table1"
+        assert len(payload["records"]) == 3
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Low-Fair" in capsys.readouterr().out
+
+    def test_run_unknown_experiment_raises(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "figure99"])
+
+    def test_aggregate_command(self, tmp_path, capsys, tiny_table, tiny_rankings):
+        candidates_csv = tmp_path / "candidates.csv"
+        rankings_csv = tmp_path / "rankings.csv"
+        write_candidate_table(tiny_table, candidates_csv)
+        write_ranking_set(tiny_rankings, tiny_table, rankings_csv)
+        exit_code = main(
+            [
+                "aggregate",
+                str(rankings_csv),
+                str(candidates_csv),
+                "--method",
+                "fair-borda",
+                "--delta",
+                "0.35",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Fair-Borda" in output
+        assert "PD loss" in output
+        assert "IRP" in output

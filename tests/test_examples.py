@@ -1,0 +1,41 @@
+"""Smoke tests ensuring the example scripts run end to end.
+
+Only the fast examples are executed directly; the two case-study examples
+(200 students / 65 departments) are covered indirectly through the
+``table4`` / ``table5`` experiment tests and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIRECTORY = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "custom_thresholds.py", "admissions_committee.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIRECTORY / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in EXAMPLES_DIRECTORY.glob("*.py")}
+    assert {"quickstart.py", "admissions_committee.py", "merit_scholarships.py",
+            "csrankings_consensus.py", "custom_thresholds.py"} <= names
+
+
+def test_quickstart_reports_fair_and_unfair_methods(capsys):
+    runpy.run_path(str(EXAMPLES_DIRECTORY / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "VIOLATED" in output       # plain Kemeny violates the threshold
+    assert "Fair-Kemeny" in output
+    assert output.count("ok") >= 4    # the fair methods satisfy every entity

@@ -1,0 +1,101 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise realistic workflows a downstream user would run: build a
+dataset, aggregate it with every method, check the MFCR contract (fairness
+satisfied, preferences represented), and persist results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CandidateTable,
+    FairnessThresholds,
+    RankingSet,
+    evaluate_mani_rank,
+    get_fair_method,
+    pd_loss,
+)
+from repro.datagen import generate_exam_dataset, generate_mallows_dataset, small_mallows_table
+from repro.fair.registry import PAPER_LABELS
+from repro.fairness.parity import mani_rank_satisfied, parity_scores
+from repro.io.csv_io import read_candidate_table, read_ranking_set, write_candidate_table, write_ranking_set
+
+
+ALL_LABELS = tuple(PAPER_LABELS)
+FAIRNESS_GUARANTEEING = ("A1", "A2", "A3", "A4", "B4")
+
+
+class TestFullPipelineOnMallowsData:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_mallows_dataset(
+            small_mallows_table(group_size=2), "low", theta=0.6, n_rankings=15, rng=3
+        )
+
+    @pytest.mark.parametrize("label", ALL_LABELS)
+    def test_every_method_produces_valid_permutation(self, dataset, label):
+        method = get_fair_method(label)
+        consensus = method.aggregate(dataset.rankings, dataset.table, 0.2)
+        assert sorted(consensus.to_list()) == list(range(dataset.table.n_candidates))
+
+    @pytest.mark.parametrize("label", FAIRNESS_GUARANTEEING)
+    def test_mfcr_contract_fairness(self, dataset, label):
+        method = get_fair_method(label)
+        consensus = method.aggregate(dataset.rankings, dataset.table, 0.2)
+        assert mani_rank_satisfied(consensus, dataset.table, 0.2)
+
+    def test_fair_kemeny_dominates_other_fair_methods_on_pd_loss(self, dataset):
+        delta = 0.2
+        losses = {}
+        for label in ("A1", "A2", "A3", "A4"):
+            consensus = get_fair_method(label).aggregate(dataset.rankings, dataset.table, delta)
+            losses[label] = pd_loss(dataset.rankings, consensus)
+        assert losses["A1"] <= min(losses.values()) + 1e-6
+
+    def test_unaware_kemeny_dominates_everything_on_pd_loss(self, dataset):
+        kemeny = get_fair_method("B1").aggregate(dataset.rankings, dataset.table, 0.2)
+        kemeny_loss = pd_loss(dataset.rankings, kemeny)
+        for label in ("A1", "A3", "B3", "B4"):
+            consensus = get_fair_method(label).aggregate(dataset.rankings, dataset.table, 0.2)
+            assert kemeny_loss <= pd_loss(dataset.rankings, consensus) + 1e-9
+
+
+class TestExamCaseStudyWorkflow:
+    def test_debiasing_workflow(self):
+        from repro.aggregation import CopelandAggregator
+
+        dataset = generate_exam_dataset(n_students=150, seed=11)
+        delta = FairnessThresholds(0.08, {"Lunch": 0.05})
+        fair = get_fair_method("A4").aggregate(dataset.rankings, dataset.table, delta)
+        report = evaluate_mani_rank(fair, dataset.table, delta)
+        assert report.satisfied
+        unaware = CopelandAggregator().aggregate(dataset.rankings)
+        assert (
+            parity_scores(unaware, dataset.table)["Lunch"]
+            > parity_scores(fair, dataset.table)["Lunch"]
+        )
+
+
+class TestPersistenceWorkflow:
+    def test_csv_round_trip_preserves_consensus(self, tmp_path):
+        table = CandidateTable(
+            {
+                "Gender": ["M", "F", "F", "M", "F", "M"],
+                "Race": ["A", "A", "B", "B", "A", "B"],
+            },
+            names=[f"p{i}" for i in range(6)],
+        )
+        rankings = RankingSet.from_orders(
+            [[0, 3, 5, 1, 2, 4], [3, 0, 5, 2, 1, 4], [0, 5, 3, 2, 4, 1]]
+        )
+        write_candidate_table(table, tmp_path / "table.csv")
+        write_ranking_set(rankings, table, tmp_path / "rankings.csv")
+        table_loaded = read_candidate_table(tmp_path / "table.csv")
+        rankings_loaded = read_ranking_set(tmp_path / "rankings.csv", table_loaded)
+
+        method = get_fair_method("A3")
+        original = method.aggregate(rankings, table, 0.35)
+        reloaded = method.aggregate(rankings_loaded, table_loaded, 0.35)
+        assert original == reloaded

