@@ -1,0 +1,216 @@
+"""Performance benchmark of the swap-loop hot paths.
+
+Times the quantities the incremental fairness engine and the vectorised
+pairwise kernels were built for:
+
+* ``make_mr_fair`` at n ∈ {100, 200, 400} candidates with 2 protected
+  attributes on Mallows data at the paper's tight Δ = 0.1, on both the
+  incremental engine (:func:`make_mr_fair`) and the retained from-scratch
+  evaluator (:func:`make_mr_fair_reference`);
+* the three shared kernels at paper scale: ``favored_mixed_pairs_by_group``
+  (vs its naive reference), ``RankingSet.precedence_matrix`` (cold cache),
+  and ``kendall_tau_to_set``.
+
+Results are written to ``benchmarks/results/perf_hot_paths.{json,txt}`` so
+every future PR inherits a perf trajectory to compare against.  Set
+``MANI_RANK_PERF_SCALE=smoke`` for the reduced configuration used by the CI
+perf smoke job; smoke runs assert but do not persist results, so they never
+overwrite the committed full-scale baseline.
+
+Two hard assertions guard the tentpole:
+
+* the incremental engine returns the *identical* ranking and ``n_swaps`` as
+  the from-scratch evaluator;
+* at the acceptance configuration (the largest n both are timed at) the
+  incremental engine is >= 10x faster (>= 4x at smoke scale, where fixed
+  per-iteration overheads weigh more).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import timeit
+
+import numpy as np
+
+from repro.aggregation.borda import BordaAggregator
+from repro.core.distances import kendall_tau_to_set
+from repro.core.pairwise import (
+    favored_mixed_pairs_by_group,
+    favored_mixed_pairs_by_group_naive,
+)
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.datagen.attributes import scalability_table
+from repro.datagen.fair_modal import calibrated_modal_ranking
+from repro.datagen.mallows import sample_mallows
+from repro.experiments.reporting import render_table
+from repro.fair.make_mr_fair import make_mr_fair, make_mr_fair_reference
+
+#: Modal-ranking fairness targets matching the Figure 7 scalability dataset.
+_MODAL_TARGETS = {"Race": 0.31, "Gender": 0.44}
+
+_SCALE_PARAMETERS = {
+    "full": {
+        "candidate_counts": (100, 200, 400),
+        "reference_counts": (100, 200),
+        "n_rankings": 50,
+        "delta": 0.1,
+        "kernel_n": 500,
+        "kernel_m": 100,
+        "min_speedup": 10.0,
+    },
+    "smoke": {
+        "candidate_counts": (50, 100),
+        "reference_counts": (50, 100),
+        "n_rankings": 20,
+        "delta": 0.1,
+        "kernel_n": 120,
+        "kernel_m": 30,
+        "min_speedup": 4.0,
+    },
+}
+
+
+def _best_of(function, repeat: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeat`` single runs."""
+    return min(timeit.repeat(function, number=1, repeat=repeat))
+
+
+def test_perf_hot_paths(results_directory):
+    scale = os.environ.get("MANI_RANK_PERF_SCALE", "full")
+    parameters = _SCALE_PARAMETERS[scale]
+    delta = parameters["delta"]
+
+    # ------------------------------------------------------------------
+    # make_mr_fair: incremental engine vs from-scratch reference
+    # ------------------------------------------------------------------
+    make_mr_fair_rows = []
+    acceptance_speedup = None
+    for n_candidates in parameters["candidate_counts"]:
+        table = scalability_table(n_candidates, rng=7)
+        modal = calibrated_modal_ranking(table, _MODAL_TARGETS, rng=7)
+        rankings = sample_mallows(modal, 0.6, parameters["n_rankings"], rng=7)
+        seed = BordaAggregator().aggregate(rankings)
+
+        incremental = make_mr_fair(seed, table, delta)
+        incremental_s = _best_of(lambda: make_mr_fair(seed, table, delta))
+        row = {
+            "n_candidates": n_candidates,
+            "delta": delta,
+            "n_swaps": incremental.n_swaps,
+            "incremental_s": incremental_s,
+            "reference_s": None,
+            "speedup": None,
+        }
+        if n_candidates in parameters["reference_counts"]:
+            reference = make_mr_fair_reference(seed, table, delta)
+            # Tentpole guarantee: identical swap sequence and result.
+            assert incremental.ranking == reference.ranking
+            assert incremental.n_swaps == reference.n_swaps
+            assert incremental.corrected_entities == reference.corrected_entities
+            row["reference_s"] = _best_of(
+                lambda: make_mr_fair_reference(seed, table, delta)
+            )
+            row["speedup"] = row["reference_s"] / incremental_s
+            acceptance_speedup = row["speedup"]
+        make_mr_fair_rows.append(row)
+
+    # The speedup at the largest configuration both evaluators ran.
+    assert acceptance_speedup is not None
+    assert acceptance_speedup >= parameters["min_speedup"], (
+        f"incremental make_mr_fair only {acceptance_speedup:.1f}x faster than "
+        f"the from-scratch evaluator (required {parameters['min_speedup']}x)"
+    )
+
+    # ------------------------------------------------------------------
+    # shared kernels at paper scale
+    # ------------------------------------------------------------------
+    kernel_n = parameters["kernel_n"]
+    kernel_m = parameters["kernel_m"]
+    rng = np.random.default_rng(11)
+    kernel_table = scalability_table(kernel_n, rng=11)
+    membership = kernel_table.group_membership_array(
+        kernel_table.INTERSECTION
+    )
+    n_groups = len(kernel_table.groups(kernel_table.INTERSECTION))
+    kernel_ranking = Ranking.random(kernel_n, rng)
+    assert np.array_equal(
+        favored_mixed_pairs_by_group(kernel_ranking, membership, n_groups),
+        favored_mixed_pairs_by_group_naive(kernel_ranking, membership, n_groups),
+    )
+    kernel_rows = [
+        {
+            "kernel": "favored_mixed_pairs_by_group",
+            "configuration": f"n={kernel_n}, intersection groups",
+            "vectorized_s": _best_of(
+                lambda: favored_mixed_pairs_by_group(
+                    kernel_ranking, membership, n_groups
+                )
+            ),
+            "naive_s": _best_of(
+                lambda: favored_mixed_pairs_by_group_naive(
+                    kernel_ranking, membership, n_groups
+                )
+            ),
+        }
+    ]
+
+    base = [Ranking.random(kernel_n, rng) for _ in range(kernel_m)]
+
+    def _cold_precedence() -> np.ndarray:
+        return RankingSet(base).precedence_matrix()
+
+    kernel_rows.append(
+        {
+            "kernel": "precedence_matrix",
+            "configuration": f"m={kernel_m}, n={kernel_n}, cold cache",
+            "vectorized_s": _best_of(_cold_precedence),
+            "naive_s": None,
+        }
+    )
+
+    ranking_set = RankingSet(base)
+
+    def _set_distance() -> float:
+        return kendall_tau_to_set(kernel_ranking, ranking_set)
+
+    kernel_rows.append(
+        {
+            "kernel": "kendall_tau_to_set",
+            "configuration": f"m={kernel_m}, n={kernel_n}",
+            "vectorized_s": _best_of(_set_distance),
+            "naive_s": None,
+        }
+    )
+
+    # ------------------------------------------------------------------
+    # persist the trajectory — full scale only, so a smoke run (CI, quick
+    # local checks) never overwrites the committed full-scale baseline
+    # ------------------------------------------------------------------
+    if scale != "full":
+        return
+    payload = {
+        "benchmark": "perf_hot_paths",
+        "scale": scale,
+        "parameters": {
+            key: value
+            for key, value in parameters.items()
+            if key != "min_speedup"
+        },
+        "make_mr_fair": make_mr_fair_rows,
+        "kernels": kernel_rows,
+    }
+    (results_directory / "perf_hot_paths.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    text = "\n\n".join(
+        [
+            f"perf_hot_paths (scale={scale})",
+            "make_mr_fair (incremental engine vs from-scratch reference)\n"
+            + render_table(make_mr_fair_rows, digits=4),
+            "shared kernels\n" + render_table(kernel_rows, digits=4),
+        ]
+    )
+    (results_directory / "perf_hot_paths.txt").write_text(text + "\n")

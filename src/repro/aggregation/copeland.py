@@ -7,8 +7,11 @@ of base rankings prefer and a tie counts as a win for both (the convention
 stated in Section III-B of the paper).  Candidates are ordered by decreasing
 number of wins.
 
-Complexity: O(n^2 |R|) for the precedence matrix, O(n^2) for the contest
-table, O(n log n) for the final sort.
+Complexity: O(n^2 |R|) for the precedence matrix — computed once per ranking
+set as a chunked numpy broadcast and cached on the :class:`RankingSet` (both
+the unweighted and weighted variants), so repeated aggregations over the same
+set pay it once — then O(n^2) for the contest table and O(n log n) for the
+final sort.
 """
 
 from __future__ import annotations

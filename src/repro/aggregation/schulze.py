@@ -6,7 +6,9 @@ to the other candidates, computed with a Floyd–Warshall variant.  It is a
 Condorcet method and, as the paper notes (Section III-B), is widely used for
 real multi-winner elections (Wikimedia, Debian, Gentoo, Ubuntu, ...).
 
-Complexity: O(n^2 |R|) for the support matrix plus O(n^3) for strongest paths.
+Complexity: O(n^2 |R|) for the support matrix (served from the ranking set's
+cached, chunked-broadcast precedence matrix — weighted or not — so repeated
+aggregations pay it once) plus O(n^3) for strongest paths.
 """
 
 from __future__ import annotations

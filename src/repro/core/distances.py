@@ -43,8 +43,34 @@ def _check_same_universe(first: Ranking, second: Ranking) -> None:
         )
 
 
+#: Below this length inversions are counted with one O(n^2) boolean
+#: broadcast (a few MiB at most), which is far faster in practice than the
+#: Python-level merge sort; above it the O(n log n) merge sort takes over.
+_INVERSION_BROADCAST_LIMIT = 2048
+
+
 def _count_inversions(sequence: np.ndarray) -> int:
-    """Count inversions of ``sequence`` with an iterative merge sort."""
+    """Count inversions of ``sequence``.
+
+    Hybrid kernel: a single vectorised pairwise comparison for sequences up
+    to :data:`_INVERSION_BROADCAST_LIMIT` elements (O(n^2) bytes of boolean
+    workspace, no Python loop), falling back to the iterative merge sort
+    (:func:`_count_inversions_mergesort`) beyond that.
+    """
+    sequence = np.asarray(sequence)
+    n = sequence.shape[0]
+    if n <= _INVERSION_BROADCAST_LIMIT:
+        later_is_smaller = sequence[:, np.newaxis] > sequence[np.newaxis, :]
+        return int(np.count_nonzero(np.triu(later_is_smaller, k=1)))
+    return _count_inversions_mergesort(sequence)
+
+
+def _count_inversions_mergesort(sequence: np.ndarray) -> int:
+    """Count inversions of ``sequence`` with an iterative merge sort.
+
+    O(n log n) reference implementation, retained for large inputs and as the
+    ground truth the property tests compare the broadcast kernel against.
+    """
     n = sequence.shape[0]
     working = sequence.astype(np.int64, copy=True)
     buffer = np.empty_like(working)
@@ -142,18 +168,21 @@ def kendall_tau_to_set(ranking: Ranking, rankings: RankingSet, weighted: bool = 
     With ``weighted=True`` each base ranking's distance is multiplied by its
     weight.  This is the raw Kemeny objective (Equation 7 evaluated on a
     concrete permutation).
+
+    The per-ranking distances come from one batched computation over the
+    set's position matrix (:meth:`RankingSet.kendall_tau_vector`) rather than
+    a merge sort per base ranking, and the unweighted path reuses the set's
+    cached unit-weight vector instead of allocating a fresh one per call.
     """
     if ranking.n_candidates != rankings.n_candidates:
         raise RankingError(
             "consensus ranking and ranking set cover different universes: "
             f"{ranking.n_candidates} vs {rankings.n_candidates} candidates"
         )
-    weights = rankings.weights if weighted else np.ones(rankings.n_rankings)
+    weights = rankings.weights if weighted else rankings.unit_weights
+    distances = rankings.kendall_tau_vector(ranking)
     return float(
-        sum(
-            weight * kendall_tau(ranking, base)
-            for base, weight in zip(rankings, weights)
-        )
+        sum(weight * int(distance) for distance, weight in zip(distances, weights))
     )
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "total_mixed_pairs",
     "favored_mixed_pairs",
     "favored_mixed_pairs_by_group",
+    "favored_mixed_pairs_by_group_naive",
     "precedence_matrix",
     "pairwise_contest_wins",
 ]
@@ -110,9 +111,33 @@ def favored_mixed_pairs_by_group(
     -------
     numpy.ndarray
         ``counts[g]`` is the number of mixed pairs in which a member of group
-        ``g`` appears above a candidate of any other group.  Runs in
-        O(n * n_groups) which is effectively O(n) for the handful of groups
-        the paper considers.
+        ``g`` appears above a candidate of any other group.  Fully vectorised:
+        O(n * n_groups) numpy work with no per-position Python loop, which is
+        effectively O(n) for the handful of groups the paper considers.
+    """
+    ordered_groups = membership[ranking.order]
+    n = ordered_groups.shape[0]
+    counts = np.zeros(n_groups, dtype=np.int64)
+    for group in range(n_groups):
+        # Positions of the group's members, best to worst.  The k-th member
+        # (0-based) has size-1-k same-group candidates after it, so its
+        # favored (mixed) pairs are the remaining candidates below it.
+        member_positions = np.flatnonzero(ordered_groups == group)
+        size = member_positions.shape[0]
+        if size == 0:
+            continue
+        same_group_after = size - 1 - np.arange(size, dtype=np.int64)
+        counts[group] = int(((n - 1 - member_positions) - same_group_after).sum())
+    return counts
+
+
+def favored_mixed_pairs_by_group_naive(
+    ranking: Ranking, membership: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Position-by-position reference for :func:`favored_mixed_pairs_by_group`.
+
+    The original O(n) Python loop, retained as the ground truth the property
+    tests compare the vectorised kernel against.
     """
     ordered_groups = membership[ranking.order]
     n = ordered_groups.shape[0]

@@ -85,7 +85,9 @@ class RankingSet:
         self._weights.setflags(write=False)
 
         self._precedence_cache: np.ndarray | None = None
+        self._weighted_precedence_cache: np.ndarray | None = None
         self._position_cache: np.ndarray | None = None
+        self._unit_weights_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -152,6 +154,19 @@ class RankingSet:
         """Per-ranking non-negative weights (read-only array)."""
         return self._weights
 
+    @property
+    def unit_weights(self) -> np.ndarray:
+        """Cached read-only all-ones weight vector for unweighted computations.
+
+        Kept on the set so hot callers (e.g. the batched Kendall tau) do not
+        allocate a fresh ``np.ones`` array on every call.
+        """
+        if self._unit_weights_cache is None:
+            unit = np.ones(self.n_rankings, dtype=float)
+            unit.setflags(write=False)
+            self._unit_weights_cache = unit
+        return self._unit_weights_cache
+
     def with_weights(self, weights: Sequence[float]) -> "RankingSet":
         """Return a copy of this set with different per-ranking weights."""
         return RankingSet(list(self._rankings), labels=self._labels, weights=weights)
@@ -163,6 +178,21 @@ class RankingSet:
     # ------------------------------------------------------------------
     # aggregate matrices
     # ------------------------------------------------------------------
+    #: Target byte budget for one boolean comparison block of the chunked
+    #: broadcast (keeps peak memory bounded at ~64 MiB regardless of scale).
+    _CHUNK_BYTE_BUDGET = 1 << 26
+
+    def _position_chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(start, block)`` slices of the position matrix.
+
+        Blocks are sized so the ``k x n x n`` boolean comparison tensor built
+        from each stays within :data:`_CHUNK_BYTE_BUDGET` bytes.
+        """
+        positions = self.position_matrix()
+        rows_per_chunk = max(1, self._CHUNK_BYTE_BUDGET // max(1, self._n * self._n))
+        for start in range(0, self.n_rankings, rows_per_chunk):
+            yield start, positions[start : start + rows_per_chunk]
+
     def precedence_matrix(self, weighted: bool = False) -> np.ndarray:
         """Return the precedence matrix ``W`` of Definition 11.
 
@@ -171,23 +201,60 @@ class RankingSet:
         ``b`` in the consensus).  With ``weighted=True`` each ranking
         contributes its weight instead of 1.
 
-        The unweighted matrix is cached because several aggregators request
-        it for the same ranking set.
+        Computed as a chunked broadcast over the ``m x n`` position matrix —
+        O(m n^2) numpy work with bounded peak memory instead of a Python loop
+        over the m rankings.  Both variants are cached because several
+        aggregators request them for the same (immutable) ranking set.
         """
+        if weighted and self._weighted_precedence_cache is not None:
+            return self._weighted_precedence_cache
         if not weighted and self._precedence_cache is not None:
             return self._precedence_cache
-        weights = self._weights if weighted else np.ones(self.n_rankings)
+        weights = self._weights if weighted else self.unit_weights
         matrix = np.zeros((self._n, self._n), dtype=float)
-        for ranking, weight in zip(self._rankings, weights):
-            positions = ranking.positions
-            # b precedes a  <=>  positions[b] < positions[a]
-            precedes = positions[np.newaxis, :] < positions[:, np.newaxis]
-            matrix += weight * precedes
+        for start, block in self._position_chunks():
+            # precedes[r, a, b] <=> positions_r[b] < positions_r[a]
+            precedes = block[:, np.newaxis, :] < block[:, :, np.newaxis]
+            matrix += np.einsum(
+                "r,rab->ab", weights[start : start + block.shape[0]], precedes
+            )
         np.fill_diagonal(matrix, 0.0)
-        if not weighted:
-            matrix.setflags(write=False)
+        matrix.setflags(write=False)
+        if weighted:
+            self._weighted_precedence_cache = matrix
+        else:
             self._precedence_cache = matrix
         return matrix
+
+    def kendall_tau_vector(self, ranking: Ranking) -> np.ndarray:
+        """Exact Kendall tau distance from ``ranking`` to every base ranking.
+
+        One batched O(m n^2 / chunk) computation over the position matrix
+        instead of m separate merge sorts; the per-ranking counts are exact
+        integers.  This is the kernel behind
+        :func:`repro.core.distances.kendall_tau_to_set` and the PD-loss
+        metric.
+        """
+        if ranking.n_candidates != self._n:
+            raise RankingError(
+                "ranking and ranking set cover different universes: "
+                f"{ranking.n_candidates} vs {self._n} candidates"
+            )
+        reference = ranking.positions
+        reference_precedes = reference[:, np.newaxis] < reference[np.newaxis, :]
+        distances = np.empty(self.n_rankings, dtype=np.int64)
+        for start, block in self._position_chunks():
+            precedes = block[:, :, np.newaxis] < block[:, np.newaxis, :]
+            # In-place comparison keeps one k x n x n tensor live, honouring
+            # the chunk byte budget.
+            disagreements = np.not_equal(
+                precedes, reference_precedes[np.newaxis, :, :], out=precedes
+            )
+            # Each disagreeing unordered pair is counted at (a, b) and (b, a).
+            distances[start : start + block.shape[0]] = (
+                disagreements.sum(axis=(1, 2)) // 2
+            )
+        return distances
 
     def pairwise_support(self, weighted: bool = False) -> np.ndarray:
         """Return ``S`` with ``S[a, b]`` = number of rankings preferring ``a`` to ``b``.

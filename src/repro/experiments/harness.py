@@ -10,6 +10,13 @@ The experiment modules (one per paper table / figure) share three things:
   fairness, representation, and runtime measurements in a flat record;
 * :func:`theta_sweep_datasets` — build the Mallows datasets for a θ sweep
   with a fairness-controlled modal ranking (the Section IV-A methodology).
+
+The runtimes :func:`evaluate_method` reports for the fair methods are those
+of Make-MR-Fair on the incremental fairness engine
+(:mod:`repro.fairness.incremental`): the scalability experiments (Figures 6–7,
+Tables II–III) exercise the engine's O(n_groups)-per-swap hot path rather
+than from-scratch parity recomputation, which is what makes the larger
+candidate/ranker regimes tractable at CI time.
 """
 
 from __future__ import annotations

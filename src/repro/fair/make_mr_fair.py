@@ -33,6 +33,15 @@ advantaged group's worst candidate, for any violating entity) are considered
 instead; if no candidate move makes progress the threshold is reported as
 unreachable.  Because the potential is non-negative and strictly decreases by
 a positive amount on every accepted move, the procedure always terminates.
+
+**Performance.**  The main implementation runs on the incremental fairness
+engine (:class:`repro.fairness.incremental.FairnessState`): evaluating a
+candidate move costs O(Σ n_groups) instead of a full O(n · n_groups) parity
+recomputation plus an O(n) :class:`Ranking` copy, and move selection works
+directly on the engine's position array.  The original from-scratch evaluator
+is retained verbatim as :func:`make_mr_fair_reference`; the test suite
+asserts both produce the identical swap sequence, ``n_swaps``, and final
+ranking on every exercised input.
 """
 
 from __future__ import annotations
@@ -47,10 +56,11 @@ from repro.core.pairwise import total_pairs
 from repro.core.ranking import Ranking
 from repro.exceptions import AggregationError
 from repro.fairness.fpr import fpr_vector
+from repro.fairness.incremental import FairnessState
 from repro.fairness.parity import parity_scores
 from repro.fairness.thresholds import FairnessThresholds
 
-__all__ = ["MakeMRFairResult", "make_mr_fair"]
+__all__ = ["MakeMRFairResult", "make_mr_fair", "make_mr_fair_reference"]
 
 #: Minimum potential decrease a move must achieve to be accepted.
 _PROGRESS_TOLERANCE = 1e-12
@@ -66,17 +76,266 @@ class MakeMRFairResult:
     converged: bool = True
 
 
+def _violation_potential(
+    scores: Mapping[str, float], thresholds: FairnessThresholds
+) -> float:
+    """Total amount by which the parity scores exceed their thresholds."""
+    return sum(
+        max(0.0, score - thresholds.threshold_for(entity))
+        for entity, score in scores.items()
+    )
+
+
+# ----------------------------------------------------------------------
+# Incremental move generation (operates on FairnessState, O(group) per move)
+# ----------------------------------------------------------------------
+def _paper_swap_pair(state: FairnessState, entity: str) -> tuple[int, int] | None:
+    """The swap Algorithm 2 prescribes for ``entity``, or ``None`` if unavailable.
+
+    The advantaged candidate ``x_Gh`` is the worst-positioned member of the
+    highest-FPR group that still has a member of the lowest-FPR group ranked
+    below it, and ``x_Gl`` is the best-positioned such member.  Selection runs
+    on the engine's position array; no ranking is materialised.
+    """
+    highest_index, lowest_index = state.extreme_groups(entity)
+    highest_members = state.group_members(entity, highest_index)
+    lowest_members = state.group_members(entity, lowest_index)
+
+    positions = state.positions
+    lowest_positions = positions[lowest_members]
+    highest_positions = positions[highest_members]
+    # Iterating highest members by decreasing position, the first one with a
+    # lowest-group member below it is the worst-positioned member ranked
+    # above *any* lowest-group member (positions are unique).
+    eligible = highest_positions < lowest_positions.max()
+    if not eligible.any():
+        return None
+    eligible_positions = highest_positions[eligible]
+    x_gh = int(highest_members[eligible][np.argmax(eligible_positions)])
+    candidates_below = lowest_members[lowest_positions > positions[x_gh]]
+    x_gl = int(candidates_below[np.argmin(positions[candidates_below])])
+    return x_gh, x_gl
+
+
+def _promotion_pair(
+    state: FairnessState, member: int, group_mask: np.ndarray
+) -> tuple[int, int] | None:
+    """Pair swapping ``member`` with the nearest non-member ranked above it.
+
+    Early-exit backward scan: groups are interleaved in practice, so the
+    nearest non-member is almost always within a couple of positions.
+    """
+    order = state.order_list
+    for position in range(state.positions_list[member] - 1, -1, -1):
+        neighbour = order[position]
+        if not group_mask[neighbour]:
+            return neighbour, member
+    return None
+
+
+def _demotion_pair(
+    state: FairnessState, member: int, group_mask: np.ndarray
+) -> tuple[int, int] | None:
+    """Pair swapping ``member`` with the nearest non-member ranked below it."""
+    order = state.order_list
+    for position in range(state.positions_list[member] + 1, state.n_candidates):
+        neighbour = order[position]
+        if not group_mask[neighbour]:
+            return member, neighbour
+    return None
+
+
+def _single_step_pairs(
+    state: FairnessState,
+    entity: str,
+    exhaustive: bool = False,
+) -> list[tuple[int, int]]:
+    """Minimal corrective moves for ``entity`` as candidate-id swap pairs.
+
+    Mirrors the reference :func:`_single_step_moves` exactly — same move set
+    in the same order — but selects candidates on the engine's position array
+    instead of building a :class:`Ranking` per move.
+    """
+    highest_index, lowest_index = state.extreme_groups(entity)
+    positions = state.positions
+    pairs: list[tuple[int, int]] = []
+
+    lowest_members = state.group_members(entity, lowest_index)
+    lowest_mask = state.group_mask(entity, lowest_index)
+    promotion_candidates = (
+        lowest_members[np.argsort(positions[lowest_members])]
+        if exhaustive
+        else lowest_members[[np.argmin(positions[lowest_members])]]
+    )
+    for member in promotion_candidates:
+        pair = _promotion_pair(state, int(member), lowest_mask)
+        if pair is not None:
+            pairs.append(pair)
+
+    highest_members = state.group_members(entity, highest_index)
+    highest_mask = state.group_mask(entity, highest_index)
+    demotion_candidates = (
+        highest_members[np.argsort(-positions[highest_members])]
+        if exhaustive
+        else highest_members[[np.argmax(positions[highest_members])]]
+    )
+    for member in demotion_candidates:
+        pair = _demotion_pair(state, int(member), highest_mask)
+        if pair is not None:
+            pairs.append(pair)
+
+    return pairs
+
+
+def make_mr_fair(
+    ranking: Ranking,
+    table: CandidateTable,
+    delta: FairnessThresholds | float | Mapping[str, float],
+    max_swaps: int | None = None,
+) -> MakeMRFairResult:
+    """Correct ``ranking`` until it satisfies MANI-Rank fairness at ``delta``.
+
+    Runs on the incremental fairness engine — every evaluated move costs
+    O(Σ n_groups) rather than a from-scratch O(n · n_groups) parity pass —
+    while reproducing the exact accept/reject decisions and swap sequence of
+    :func:`make_mr_fair_reference`.
+
+    Parameters
+    ----------
+    ranking:
+        The consensus ranking to correct (it is not modified; a new ranking is
+        returned).
+    table:
+        Candidate table defining the protected attributes and intersection.
+    delta:
+        Fairness threshold(s); see :class:`FairnessThresholds`.
+    max_swaps:
+        Safety cap; defaults to ``ω(X) * (#fairness entities + 1)``.
+
+    Raises
+    ------
+    AggregationError
+        If no pairwise move can make further progress toward the requested
+        thresholds, or the swap budget is exhausted — both indicate the
+        threshold is unreachable for the group structure (e.g. singleton
+        intersectional groups force ``IRP = 1`` in any strict ranking).
+    """
+    if ranking.n_candidates != table.n_candidates:
+        raise AggregationError(
+            "ranking and candidate table cover different universes: "
+            f"{ranking.n_candidates} vs {table.n_candidates} candidates"
+        )
+    thresholds = FairnessThresholds.coerce(delta)
+    entities = table.all_fairness_entities()
+    if max_swaps is None:
+        max_swaps = total_pairs(table.n_candidates) * (len(entities) + 1)
+
+    state = FairnessState(ranking, table)
+    corrected_entities: list[str] = []
+    tolerance = 1e-9
+    n_swaps = 0
+    best_potential_seen = float("inf")
+    stalled_iterations = 0
+    stall_limit = max(25, table.n_candidates)
+    while True:
+        scores = state.parity_scores()
+        violating = {
+            entity: score
+            for entity, score in scores.items()
+            if score > thresholds.threshold_for(entity) + tolerance
+        }
+        if not violating:
+            return MakeMRFairResult(
+                ranking=state.to_ranking(),
+                n_swaps=n_swaps,
+                corrected_entities=corrected_entities,
+                converged=True,
+            )
+        if n_swaps >= max_swaps:
+            raise AggregationError(
+                f"Make-MR-Fair did not reach delta within {max_swaps} swaps; "
+                f"remaining violations: {violating}. The requested threshold "
+                "may be infeasible for this group structure."
+            )
+        potential = _violation_potential(scores, thresholds)
+
+        # Entity to correct: the least fair one among the violators (the
+        # paper's choice).  Its Algorithm-2 swap is tried first; if that does
+        # not make global progress, small single-step moves for every
+        # violating entity are considered.  Moves are generated lazily: the
+        # paper swap is accepted on the vast majority of iterations, so the
+        # single-step pools are usually never built.
+        def _candidate_moves():
+            worst_entity = max(violating, key=violating.get)
+            paper_pair = _paper_swap_pair(state, worst_entity)
+            if paper_pair is not None:
+                yield worst_entity, paper_pair
+            for entity in sorted(violating, key=violating.get, reverse=True):
+                for pair in _single_step_pairs(state, entity):
+                    yield entity, pair
+
+        # Accept the first move (paper swap preferred, then single steps in
+        # decreasing order of entity violation) that makes global progress.
+        accepted: tuple[str, tuple[int, int]] | None = None
+        accepted_potential = potential
+        for entity, pair in _candidate_moves():
+            move_potential = state.potential_after_swap(*pair, thresholds)
+            if move_potential < potential - _PROGRESS_TOLERANCE:
+                accepted = (entity, pair)
+                accepted_potential = move_potential
+                break
+        if accepted is None:
+            # The cheap pool stalled (typically right at a threshold boundary
+            # where the obvious swap for one entity would push another over).
+            # Fall back to the best move in the exhaustive per-member pool —
+            # even a non-improving one, because escaping such boundary states
+            # can require temporarily trading one entity's violation for
+            # another's.  A stall counter bounds how long the search may go
+            # without setting a new best potential.
+            best_move_potential = float("inf")
+            for entity in sorted(violating, key=violating.get, reverse=True):
+                for pair in _single_step_pairs(state, entity, exhaustive=True):
+                    move_potential = state.potential_after_swap(*pair, thresholds)
+                    if move_potential < best_move_potential:
+                        accepted = (entity, pair)
+                        best_move_potential = move_potential
+            accepted_potential = best_move_potential
+        if accepted is None:
+            raise AggregationError(
+                f"Make-MR-Fair cannot make further progress (remaining "
+                f"violations: {violating}); the requested threshold appears "
+                "infeasible for this group structure"
+            )
+
+        if accepted_potential < best_potential_seen - _PROGRESS_TOLERANCE:
+            best_potential_seen = accepted_potential
+            stalled_iterations = 0
+        else:
+            stalled_iterations += 1
+            if stalled_iterations > stall_limit:
+                raise AggregationError(
+                    f"Make-MR-Fair made no progress for {stall_limit} "
+                    f"consecutive swaps (remaining violations: {violating}); "
+                    "the requested threshold appears infeasible for this "
+                    "group structure"
+                )
+
+        entity, pair = accepted
+        state.apply_swap(*pair)
+        corrected_entities.append(entity)
+        n_swaps += 1
+
+
+# ----------------------------------------------------------------------
+# From-scratch reference evaluator (the original implementation, retained
+# verbatim for equivalence tests and as the perf baseline)
+# ----------------------------------------------------------------------
 def _paper_swap(
     ranking: Ranking,
     table: CandidateTable,
     entity: str,
 ) -> Ranking | None:
-    """The swap Algorithm 2 prescribes for ``entity``, or ``None`` if unavailable.
-
-    The advantaged candidate ``x_Gh`` is the worst-positioned member of the
-    highest-FPR group that still has a member of the lowest-FPR group ranked
-    below it, and ``x_Gl`` is the best-positioned such member.
-    """
+    """Reference move rule of :func:`_paper_swap_pair` on a concrete ranking."""
     groups = table.groups(entity)
     scores = fpr_vector(ranking, table, entity)
     highest_group = groups[int(np.argmax(scores))]
@@ -123,7 +382,7 @@ def _single_step_moves(
     entity: str,
     exhaustive: bool = False,
 ) -> list[Ranking]:
-    """Minimal corrective moves for ``entity``.
+    """Reference move pool of :func:`_single_step_pairs` on a concrete ranking.
 
     By default two candidate moves are produced: promote the best-placed
     member of the lowest-FPR group above the nearest non-member, and demote
@@ -167,43 +426,20 @@ def _single_step_moves(
     return moves
 
 
-def _violation_potential(
-    scores: Mapping[str, float], thresholds: FairnessThresholds
-) -> float:
-    """Total amount by which the parity scores exceed their thresholds."""
-    return sum(
-        max(0.0, score - thresholds.threshold_for(entity))
-        for entity, score in scores.items()
-    )
-
-
-def make_mr_fair(
+def make_mr_fair_reference(
     ranking: Ranking,
     table: CandidateTable,
     delta: FairnessThresholds | float | Mapping[str, float],
     max_swaps: int | None = None,
 ) -> MakeMRFairResult:
-    """Correct ``ranking`` until it satisfies MANI-Rank fairness at ``delta``.
+    """From-scratch Make-MR-Fair: every move evaluated by full recomputation.
 
-    Parameters
-    ----------
-    ranking:
-        The consensus ranking to correct (it is not modified; a new ranking is
-        returned).
-    table:
-        Candidate table defining the protected attributes and intersection.
-    delta:
-        Fairness threshold(s); see :class:`FairnessThresholds`.
-    max_swaps:
-        Safety cap; defaults to ``ω(X) * (#fairness entities + 1)``.
-
-    Raises
-    ------
-    AggregationError
-        If no pairwise move can make further progress toward the requested
-        thresholds, or the swap budget is exhausted — both indicate the
-        threshold is unreachable for the group structure (e.g. singleton
-        intersectional groups force ``IRP = 1`` in any strict ranking).
+    This is the original implementation, kept as the semantic ground truth:
+    each candidate move materialises a swapped :class:`Ranking` and rescores
+    it with :func:`repro.fairness.parity.parity_scores`, so one evaluated
+    move costs O(n · Σ n_groups).  :func:`make_mr_fair` must return the
+    identical swap sequence, ``n_swaps``, and final ranking; the equivalence
+    is enforced by the test suite and the perf benchmark.
     """
     if ranking.n_candidates != table.n_candidates:
         raise AggregationError(
@@ -244,10 +480,6 @@ def make_mr_fair(
             )
         potential = _violation_potential(scores, thresholds)
 
-        # Entity to correct: the least fair one among the violators (the
-        # paper's choice).  Its Algorithm-2 swap is tried first; if that does
-        # not make global progress, small single-step moves for every
-        # violating entity are considered.
         worst_entity = max(violating, key=violating.get)
         candidate_moves: list[tuple[str, Ranking]] = []
         paper_move = _paper_swap(current, table, worst_entity)
@@ -257,8 +489,6 @@ def make_mr_fair(
             for move in _single_step_moves(current, table, entity):
                 candidate_moves.append((entity, move))
 
-        # Accept the first move (paper swap preferred, then single steps in
-        # decreasing order of entity violation) that makes global progress.
         accepted: tuple[str, Ranking] | None = None
         accepted_potential = potential
         for entity, move in candidate_moves:
@@ -270,13 +500,6 @@ def make_mr_fair(
                 accepted_potential = move_potential
                 break
         if accepted is None:
-            # The cheap pool stalled (typically right at a threshold boundary
-            # where the obvious swap for one entity would push another over).
-            # Fall back to the best move in the exhaustive per-member pool —
-            # even a non-improving one, because escaping such boundary states
-            # can require temporarily trading one entity's violation for
-            # another's.  A stall counter bounds how long the search may go
-            # without setting a new best potential.
             best_move_potential = float("inf")
             for entity in sorted(violating, key=violating.get, reverse=True):
                 for move in _single_step_moves(current, table, entity, exhaustive=True):

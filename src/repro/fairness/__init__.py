@@ -1,6 +1,7 @@
 """MANI-Rank fairness criteria: FPR, ARP, IRP, PD loss, and Price of Fairness."""
 
 from repro.fairness.fpr import PARITY_TARGET, fpr, fpr_by_group, fpr_of_members, fpr_table, fpr_vector
+from repro.fairness.incremental import FairnessState
 from repro.fairness.parity import (
     ManiRankReport,
     arp,
@@ -21,6 +22,7 @@ __all__ = [
     "fpr_by_group",
     "fpr_table",
     "fpr_vector",
+    "FairnessState",
     "arp",
     "irp",
     "parity_scores",

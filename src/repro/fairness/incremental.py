@@ -1,0 +1,387 @@
+"""Incremental fairness engine: O(n_groups)-per-move MANI-Rank statistics.
+
+Every swap-based algorithm in this codebase (Make-MR-Fair / Algorithm 2, the
+local-search Kemeny heuristics, the exhaustive stall fallback) repeatedly asks
+the same question: *what do the parity scores become if these two candidates
+trade places?*  Answering it from scratch costs O(n · n_groups) per evaluated
+move plus an O(n) :class:`~repro.core.ranking.Ranking` copy.  This module
+maintains the statistics incrementally so the same question costs
+O(Σ n_groups) — independent of ``n`` and of the gap between the two
+positions.
+
+**The cancellation that makes it cheap.**  Swap candidates ``u`` (position
+``p_u``) and ``v`` (position ``p_v``, ``p_u < p_v``) and consider the
+per-group favored-mixed-pair counts (the numerators of the FPR scores,
+Definition 4).  For a third candidate ``c`` strictly between the two
+positions, the pair ``(u, c)`` flips against ``u`` while the pair ``(v, c)``
+flips in favor of ``v`` — so ``c``'s *group* gains one favored pair from the
+first flip and loses one from the second.  Group totals of every third-party
+group therefore cancel exactly, and only the groups of the two swapped
+candidates change::
+
+    favored[group(u)] -= p_v - p_u        # u falls past (p_v - p_u) rivals
+    favored[group(v)] += p_v - p_u        # v rises past the same rivals
+
+(and nothing changes when ``u`` and ``v`` share the group).  The proof is a
+two-line case analysis per pair; the property tests in
+``tests/fairness/test_incremental.py`` additionally verify it against the
+from-scratch evaluator on randomized swap sequences.
+
+Per-operation complexity (``E`` = fairness entities, ``G`` = groups of one
+entity, ``n`` = candidates):
+
+* construction — O(n · Σ_E G) (one vectorised favored-pair count per entity);
+* :meth:`FairnessState.delta_swap` — O(Σ_E 1) to locate the two affected
+  groups per entity;
+* :meth:`FairnessState.parity_after_swap` /
+  :meth:`FairnessState.potential_after_swap` — O(Σ_E G);
+* :meth:`FairnessState.apply_swap` — O(Σ_E G);
+* :meth:`FairnessState.parity_scores` — O(E) (cached per-entity floats);
+* :meth:`FairnessState.to_ranking` — O(n).
+
+All parity values are **bit-identical** to
+:func:`repro.fairness.parity.parity_scores` because the engine maintains the
+exact integer favored-pair counts and performs the same correctly-rounded
+float divisions and max/min reductions on them.  The group-level vectors have
+at most a handful of entries, so they are kept as plain Python lists — for
+arrays this small, interpreter-level arithmetic is several times faster than
+numpy dispatch, and ``int / int`` division produces the identical IEEE-754
+double as numpy's ``int64 / int64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.candidates import CandidateTable
+from repro.core.pairwise import favored_mixed_pairs_by_group
+from repro.core.ranking import Ranking
+from repro.exceptions import FairnessError
+from repro.fairness.thresholds import FairnessThresholds
+
+__all__ = ["FairnessState"]
+
+
+class _EntityStats:
+    """Per-entity group structure and incrementally maintained counts.
+
+    Group-indexed vectors (``favored``, ``denominators``, ``fpr``) are plain
+    Python lists: entities have at most a handful of groups, where list
+    arithmetic beats numpy dispatch by a wide margin in the per-move hot
+    path.  Candidate-indexed structures stay as numpy arrays.
+    """
+
+    __slots__ = (
+        "name",
+        "membership",
+        "n_groups",
+        "denominators",
+        "favored",
+        "group_members",
+        "group_masks",
+        "parity",
+        "fpr",
+        "highest_index",
+        "lowest_index",
+    )
+
+    def __init__(self, name: str, table: CandidateTable, ranking: Ranking) -> None:
+        groups = table.groups(name)
+        n = table.n_candidates
+        self.name = name
+        membership = table.group_membership_array(name)
+        self.membership: list[int] = membership.tolist()
+        self.n_groups = len(groups)
+        self.denominators: list[int] = [
+            group.size * (n - group.size) for group in groups
+        ]
+        if any(denominator == 0 for denominator in self.denominators):
+            # Same failure mode (and message) as repro.fairness.fpr.fpr_vector.
+            raise FairnessError(
+                f"attribute {name!r} has a group covering all candidates; "
+                "FPR is undefined"
+            )
+        self.favored: list[int] = favored_mixed_pairs_by_group(
+            ranking, membership, self.n_groups
+        ).tolist()
+        self.group_members: tuple[np.ndarray, ...] = tuple(
+            np.asarray(group.members, dtype=np.int64) for group in groups
+        )
+        masks = []
+        for group in groups:
+            mask = np.zeros(n, dtype=bool)
+            mask[list(group.members)] = True
+            masks.append(mask)
+        self.group_masks: tuple[np.ndarray, ...] = tuple(masks)
+        self._refresh()
+
+    def _refresh(self) -> None:
+        """Recompute the derived per-entity caches from the integer counts.
+
+        The divisions and max/min reductions produce bit-identical values to
+        :func:`repro.fairness.fpr.fpr_vector` and
+        :func:`repro.fairness.parity.arp` (correctly rounded division of
+        exact integers; first-occurrence argmax/argmin tie-breaking).
+        """
+        fpr = [
+            favored / denominator
+            for favored, denominator in zip(self.favored, self.denominators)
+        ]
+        self.fpr = fpr
+        highest = max(fpr)
+        lowest = min(fpr)
+        self.parity = highest - lowest
+        self.highest_index = fpr.index(highest)
+        self.lowest_index = fpr.index(lowest)
+
+    def parity_after(self, group_u: int, group_v: int, gap: int) -> float:
+        """ARP after moving ``gap`` favored pairs from ``group_u`` to ``group_v``."""
+        if group_u == group_v:
+            return self.parity
+        favored = self.favored
+        denominators = self.denominators
+        first_count = favored[0]
+        if group_u == 0:
+            first_count -= gap
+        elif group_v == 0:
+            first_count += gap
+        highest = lowest = first_count / denominators[0]
+        for group in range(1, self.n_groups):
+            count = favored[group]
+            if group == group_u:
+                count -= gap
+            elif group == group_v:
+                count += gap
+            score = count / denominators[group]
+            if score > highest:
+                highest = score
+            elif score < lowest:
+                lowest = score
+        return highest - lowest
+
+    def apply(self, group_u: int, group_v: int, gap: int) -> None:
+        """Commit a swap's favored-count delta and refresh the derived caches."""
+        if group_u == group_v:
+            return
+        self.favored[group_u] -= gap
+        self.favored[group_v] += gap
+        self._refresh()
+
+
+class FairnessState:
+    """Mutable ranking state with incrementally maintained MANI-Rank statistics.
+
+    Holds the position/order arrays of a ranking plus, for every fairness
+    entity (each protected attribute and the intersection), the per-group
+    favored-mixed-pair counts.  Swap-based search algorithms use
+    :meth:`parity_after_swap` / :meth:`potential_after_swap` to evaluate a
+    candidate move in O(Σ n_groups) — *without* materialising the swapped
+    ranking — and :meth:`apply_swap` to commit it.
+
+    Parameters
+    ----------
+    ranking:
+        Initial ranking (not modified; its arrays are copied).
+    table:
+        Candidate table defining the protected attributes and intersection.
+    """
+
+    def __init__(self, ranking: Ranking, table: CandidateTable) -> None:
+        if ranking.n_candidates != table.n_candidates:
+            raise FairnessError(
+                "ranking and candidate table sizes differ: "
+                f"{ranking.n_candidates} vs {table.n_candidates}"
+            )
+        self._table = table
+        self._n = table.n_candidates
+        self._order = ranking.order.astype(np.int64, copy=True)
+        self._positions = ranking.positions.astype(np.int64, copy=True)
+        # Python-list mirrors of the two permutation arrays: the per-move
+        # neighbour scans and gap lookups are scalar reads, which cost ~3x
+        # less on lists than on numpy arrays.
+        self._order_list: list[int] = self._order.tolist()
+        self._positions_list: list[int] = self._positions.tolist()
+        self._entities = table.all_fairness_entities()
+        self._stats = [
+            _EntityStats(entity, table, ranking) for entity in self._entities
+        ]
+        self._stats_by_name = {stats.name: stats for stats in self._stats}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> CandidateTable:
+        """The candidate table the statistics are defined over."""
+        return self._table
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of candidates in the ranking."""
+        return self._n
+
+    @property
+    def entities(self) -> tuple[str, ...]:
+        """Fairness entity names in :meth:`CandidateTable.all_fairness_entities` order."""
+        return self._entities
+
+    @property
+    def order(self) -> np.ndarray:
+        """Current candidate order, best to worst (live internal array)."""
+        return self._order
+
+    @property
+    def order_list(self) -> list[int]:
+        """Current candidate order as a live plain-int list (scalar-read fast path)."""
+        return self._order_list
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current candidate -> position mapping (live internal array)."""
+        return self._positions
+
+    @property
+    def positions_list(self) -> list[int]:
+        """Current candidate -> position list (scalar-read fast path)."""
+        return self._positions_list
+
+    def to_ranking(self) -> Ranking:
+        """Materialise the current state as an immutable :class:`Ranking`."""
+        return Ranking(self._order.copy(), validate=False)
+
+    def favored_counts(self, entity: str) -> np.ndarray:
+        """Favored-mixed-pair counts per group of ``entity`` (fresh int64 array)."""
+        return np.asarray(self._stats_by_name[entity].favored, dtype=np.int64)
+
+    def fpr_vector(self, entity: str) -> np.ndarray:
+        """Current FPR per group of ``entity`` (group order of ``table.groups``).
+
+        Built from the cache refreshed on every :meth:`apply_swap`;
+        bit-identical to :func:`repro.fairness.fpr.fpr_vector`.
+        """
+        return np.asarray(self._stats_by_name[entity].fpr, dtype=float)
+
+    def extreme_groups(self, entity: str) -> tuple[int, int]:
+        """Indices of the highest- and lowest-FPR groups of ``entity``.
+
+        Cached ``(argmax, argmin)`` of :meth:`fpr_vector`, with
+        first-occurrence tie-breaking — exactly what Algorithm 2's move
+        selection computes from scratch.
+        """
+        stats = self._stats_by_name[entity]
+        return stats.highest_index, stats.lowest_index
+
+    def group_members(self, entity: str, group_index: int) -> np.ndarray:
+        """Member ids of group ``group_index`` of ``entity`` (cached array)."""
+        return self._stats_by_name[entity].group_members[group_index]
+
+    def group_mask(self, entity: str, group_index: int) -> np.ndarray:
+        """Boolean candidate-membership mask of one group (cached array)."""
+        return self._stats_by_name[entity].group_masks[group_index]
+
+    # ------------------------------------------------------------------
+    # parity queries
+    # ------------------------------------------------------------------
+    def parity_scores(self) -> dict[str, float]:
+        """ARP per attribute plus IRP, bit-identical to
+        :func:`repro.fairness.parity.parity_scores`.
+
+        Served from the cached per-entity values in O(E); the cache is exact
+        because it is refreshed from the integer counts on every
+        :meth:`apply_swap`.
+        """
+        return {stats.name: stats.parity for stats in self._stats}
+
+    def delta_swap(self, first: int, second: int) -> dict[str, np.ndarray]:
+        """Exact per-entity favored-count deltas of swapping two candidates.
+
+        Returns ``{entity: delta}`` where ``delta[g]`` is the change of group
+        ``g``'s favored-mixed-pair count if ``first`` and ``second`` traded
+        positions.  Thanks to the third-party cancellation (module docstring)
+        at most two entries per entity are non-zero.  The swapped ranking is
+        never materialised.
+        """
+        positions = self._positions_list
+        gap = abs(positions[first] - positions[second])
+        upper, lower = self._oriented(first, second)
+        deltas: dict[str, np.ndarray] = {}
+        for stats in self._stats:
+            delta = np.zeros(stats.n_groups, dtype=np.int64)
+            group_u = stats.membership[upper]
+            group_v = stats.membership[lower]
+            if group_u != group_v:
+                delta[group_u] -= gap
+                delta[group_v] += gap
+            deltas[stats.name] = delta
+        return deltas
+
+    def parity_after_swap(self, first: int, second: int) -> dict[str, float]:
+        """Parity scores of the hypothetically swapped ranking.
+
+        Bit-identical to ``parity_scores(ranking.swap(first, second), table)``
+        but O(Σ n_groups) instead of O(n · Σ n_groups) plus a ranking copy.
+        """
+        positions = self._positions_list
+        gap = abs(positions[first] - positions[second])
+        upper, lower = self._oriented(first, second)
+        return {
+            stats.name: stats.parity_after(
+                stats.membership[upper], stats.membership[lower], gap
+            )
+            for stats in self._stats
+        }
+
+    def potential_after_swap(
+        self, first: int, second: int, thresholds: FairnessThresholds
+    ) -> float:
+        """Total threshold violation of the hypothetically swapped ranking.
+
+        Matches ``_violation_potential(parity_after_swap(...), thresholds)``
+        exactly (same per-entity summation order and float arithmetic).
+        """
+        positions = self._positions_list
+        gap = abs(positions[first] - positions[second])
+        upper, lower = self._oriented(first, second)
+        total = 0.0
+        for stats in self._stats:
+            parity = stats.parity_after(
+                stats.membership[upper], stats.membership[lower], gap
+            )
+            excess = parity - thresholds.threshold_for(stats.name)
+            if excess > 0.0:
+                total += excess
+        return total
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_swap(self, first: int, second: int) -> None:
+        """Swap two candidates and update every maintained statistic.
+
+        O(Σ n_groups): the favored-count deltas touch at most two groups per
+        entity and the order/position update is O(1).
+        """
+        positions = self._positions_list
+        gap = abs(positions[first] - positions[second])
+        upper, lower = self._oriented(first, second)
+        for stats in self._stats:
+            stats.apply(stats.membership[upper], stats.membership[lower], gap)
+        position_first = positions[first]
+        position_second = positions[second]
+        self._order[position_first] = second
+        self._order[position_second] = first
+        self._order_list[position_first] = second
+        self._order_list[position_second] = first
+        self._positions[first] = position_second
+        self._positions[second] = position_first
+        positions[first] = position_second
+        positions[second] = position_first
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _oriented(self, first: int, second: int) -> tuple[int, int]:
+        """Return ``(upper, lower)`` with ``upper`` the better-ranked candidate."""
+        if self._positions_list[first] <= self._positions_list[second]:
+            return first, second
+        return second, first

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -123,3 +124,53 @@ class TestSetDistances:
             kendall_tau_to_set(Ranking([0, 1]), tiny_rankings)
         with pytest.raises(RankingError):
             kemeny_objective(Ranking([0, 1]), tiny_rankings)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_batched_set_distance_matches_per_ranking_merge_sort(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 25))
+        m = int(rng.integers(1, 12))
+        rankings = RankingSet([Ranking.random(n, rng) for _ in range(m)])
+        consensus = Ranking.random(n, rng)
+        batched = rankings.kendall_tau_vector(consensus)
+        expected = [kendall_tau(consensus, base) for base in rankings]
+        assert batched.tolist() == expected
+        assert kendall_tau_to_set(consensus, rankings) == sum(expected)
+
+    def test_weighted_set_distance_matches_manual_accumulation(self, rng):
+        rankings = RankingSet(
+            [Ranking.random(7, rng) for _ in range(5)],
+            weights=[0.5, 2.0, 1.0, 0.25, 3.0],
+        )
+        consensus = Ranking.random(7, rng)
+        expected = float(
+            sum(
+                weight * kendall_tau(consensus, base)
+                for base, weight in zip(rankings, rankings.weights)
+            )
+        )
+        assert kendall_tau_to_set(consensus, rankings, weighted=True) == expected
+
+
+class TestInversionKernels:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_broadcast_matches_merge_sort(self, seed):
+        from repro.core.distances import _count_inversions, _count_inversions_mergesort
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 60))
+        sequence = rng.integers(0, 20, n)
+        assert _count_inversions(sequence) == _count_inversions_mergesort(sequence)
+
+    def test_merge_sort_path_beyond_broadcast_limit(self):
+        from repro.core.distances import (
+            _INVERSION_BROADCAST_LIMIT,
+            _count_inversions,
+            _count_inversions_mergesort,
+        )
+
+        rng = np.random.default_rng(3)
+        sequence = rng.permutation(_INVERSION_BROADCAST_LIMIT + 5)
+        assert _count_inversions(sequence) == _count_inversions_mergesort(sequence)

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.core.pairwise import (
     favored_mixed_pairs,
     favored_mixed_pairs_by_group,
+    favored_mixed_pairs_by_group_naive,
     mixed_pairs,
     pairwise_contest_wins,
     total_mixed_pairs,
@@ -87,6 +88,32 @@ class TestFavoredPairs:
         ranking = Ranking(list(order))
         favored = favored_mixed_pairs(ranking, sorted(members))
         assert 0 <= favored <= mixed_pairs(len(members), 8)
+
+
+class TestVectorisedKernelEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_by_group_matches_naive_reference(self, seed, n, n_groups):
+        rng = np.random.default_rng(seed)
+        ranking = Ranking.random(n, rng)
+        membership = rng.integers(0, n_groups, n).astype(np.int64)
+        fast = favored_mixed_pairs_by_group(ranking, membership, n_groups)
+        naive = favored_mixed_pairs_by_group_naive(ranking, membership, n_groups)
+        assert np.array_equal(fast, naive)
+        assert fast.dtype == naive.dtype
+
+    def test_empty_group_gets_zero_count(self):
+        ranking = Ranking([0, 1, 2])
+        membership = np.array([0, 0, 2], dtype=np.int64)
+        counts = favored_mixed_pairs_by_group(ranking, membership, 3)
+        assert counts[1] == 0
+        assert np.array_equal(
+            counts, favored_mixed_pairs_by_group_naive(ranking, membership, 3)
+        )
 
 
 class TestContestWins:

@@ -88,6 +88,43 @@ class TestPrecedenceMatrix:
         assert weighted[1, 0] == 3.0
         assert weighted[0, 1] == 1.0
 
+    def test_weighted_precedence_matrix_is_cached(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]], weights=[3.0, 1.0])
+        assert rankings.precedence_matrix(weighted=True) is rankings.precedence_matrix(
+            weighted=True
+        )
+
+    def test_weighted_precedence_read_only(self):
+        rankings = RankingSet.from_orders([[0, 1], [1, 0]], weights=[3.0, 1.0])
+        with pytest.raises(ValueError):
+            rankings.precedence_matrix(weighted=True)[0, 1] = 9.0
+
+    def test_unit_weights_cached_and_read_only(self, tiny_rankings):
+        unit = tiny_rankings.unit_weights
+        assert unit is tiny_rankings.unit_weights
+        assert unit.tolist() == [1.0] * tiny_rankings.n_rankings
+        with pytest.raises(ValueError):
+            unit[0] = 2.0
+
+    def test_chunked_broadcast_matches_per_ranking_accumulation(self, rng):
+        weights = rng.uniform(0.1, 3.0, 8)
+        rankings = RankingSet(
+            [Ranking.random(9, rng) for _ in range(8)], weights=weights
+        )
+        # Force multiple chunks so the chunk boundary logic is exercised.
+        rankings._CHUNK_BYTE_BUDGET = 9 * 9 * 3
+        for weighted in (False, True):
+            matrix = rankings.precedence_matrix(weighted=weighted)
+            expected = np.zeros((9, 9))
+            used = weights if weighted else np.ones(8)
+            for ranking, weight in zip(rankings, used):
+                positions = ranking.positions
+                expected += weight * (
+                    positions[np.newaxis, :] < positions[:, np.newaxis]
+                )
+            np.fill_diagonal(expected, 0.0)
+            assert np.allclose(matrix, expected)
+
     def test_pairwise_support_is_transpose(self, tiny_rankings):
         support = tiny_rankings.pairwise_support()
         assert np.array_equal(support, tiny_rankings.precedence_matrix().T)

@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.core.candidates import CandidateTable
 from repro.core.ranking import Ranking
 from repro.exceptions import AggregationError
-from repro.fair.make_mr_fair import make_mr_fair
+from repro.fair.make_mr_fair import make_mr_fair, make_mr_fair_reference
 from repro.fairness.parity import mani_rank_satisfied, parity_scores
 from repro.fairness.pd_loss import pd_loss
 from repro.fairness.thresholds import FairnessThresholds
@@ -54,6 +54,53 @@ class TestBasicCorrection:
         assert scores["Gender"] <= 0.4 + 1e-9
         # Unconstrained entities may stay unfair.
         assert result.converged
+
+
+class TestIncrementalReferenceEquivalence:
+    """The incremental engine must replay the reference's exact swap sequence."""
+
+    def _assert_identical(self, ranking, table, delta):
+        try:
+            reference = make_mr_fair_reference(ranking, table, delta)
+            reference_error = None
+        except AggregationError as error:
+            reference, reference_error = None, str(error)
+        try:
+            fast = make_mr_fair(ranking, table, delta)
+            fast_error = None
+        except AggregationError as error:
+            fast, fast_error = None, str(error)
+        assert fast_error == reference_error
+        if reference is not None:
+            assert fast.ranking == reference.ranking
+            assert fast.n_swaps == reference.n_swaps
+            assert fast.corrected_entities == reference.corrected_entities
+            assert fast.converged == reference.converged
+
+    def test_identical_on_tiny_table(self, tiny_table, biased_ranking_for_tiny_table):
+        for delta in (0.1, 0.35, 0.6):
+            self._assert_identical(biased_ranking_for_tiny_table, tiny_table, delta)
+
+    def test_identical_on_small_mallows_dataset(self, small_dataset):
+        from repro.aggregation.borda import BordaAggregator
+
+        seed = BordaAggregator().aggregate(small_dataset.rankings)
+        for delta in (0.1, 0.3):
+            self._assert_identical(seed, small_dataset.table, delta)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_on_random_inputs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(6, 24))
+        values = [["x", "y"][int(v)] for v in rng.integers(0, 2, n - 2)] + ["x", "y"]
+        rng.shuffle(values)
+        table = CandidateTable(
+            {"A": values, "B": [["u", "v"][i % 2] for i in range(n)]}
+        )
+        ranking = Ranking.random(n, rng)
+        delta = float(rng.choice([0.15, 0.3, 0.5]))
+        self._assert_identical(ranking, table, delta)
 
 
 class TestConvergenceProperties:
