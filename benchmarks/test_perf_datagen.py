@@ -1,0 +1,173 @@
+"""Performance benchmark of the batched Mallows data-generation engine.
+
+Times the vectorised RIM sampler (:func:`repro.datagen.mallows.sample_mallows`)
+against the retained scalar reference
+(:func:`repro.datagen.mallows.sample_mallows_ranking_reference`) across the
+synthetic-experiment regimes, plus the :meth:`RankingSet.from_position_matrix`
+bulk constructor against the per-ranking list path.
+
+Results are written to ``benchmarks/results/perf_datagen.{json,txt}`` so every
+future PR inherits a data-generation perf trajectory alongside the PR-2
+hot-path baseline.  Set ``MANI_RANK_PERF_SCALE=smoke`` for the reduced
+configuration used by the CI perf smoke job; smoke runs assert but do not
+persist results, so they never overwrite the committed full-scale baseline.
+
+Two hard assertions guard the tentpole:
+
+* the batched sampler draws *bit-identical* samples to the scalar reference
+  for a shared seed (they consume the same generator stream);
+* at the acceptance configuration (n = 200 candidates, m = 500 rankings at
+  full scale) the batched sampler is >= 10x faster (>= 4x at smoke scale,
+  where fixed per-call overheads weigh more).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import timeit
+
+import numpy as np
+
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.datagen.mallows import (
+    sample_mallows,
+    sample_mallows_position_matrix,
+    sample_mallows_ranking_reference,
+)
+from repro.experiments.reporting import render_table
+
+_SCALE_PARAMETERS = {
+    "full": {
+        "sampler_configurations": ((100, 200), (200, 500)),
+        "theta": 0.6,
+        "construction_n": 200,
+        "construction_m": 500,
+        "min_speedup": 10.0,
+    },
+    "smoke": {
+        "sampler_configurations": ((40, 60), (60, 100)),
+        "theta": 0.6,
+        "construction_n": 60,
+        "construction_m": 100,
+        "min_speedup": 4.0,
+    },
+}
+
+
+def _best_of(function, repeat: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeat`` single runs."""
+    return min(timeit.repeat(function, number=1, repeat=repeat))
+
+
+def _reference_sample(modal: Ranking, theta: float, m: int, seed: int) -> list[Ranking]:
+    rng = np.random.default_rng(seed)
+    return [sample_mallows_ranking_reference(modal, theta, rng) for _ in range(m)]
+
+
+def test_perf_datagen(results_directory):
+    scale = os.environ.get("MANI_RANK_PERF_SCALE", "full")
+    parameters = _SCALE_PARAMETERS[scale]
+    theta = parameters["theta"]
+
+    # ------------------------------------------------------------------
+    # batched vs scalar-reference Mallows sampling
+    # ------------------------------------------------------------------
+    sampler_rows = []
+    for n_candidates, n_rankings in parameters["sampler_configurations"]:
+        modal = Ranking(np.random.default_rng(n_candidates).permutation(n_candidates))
+
+        # Tentpole guarantee: a shared seed yields bit-identical samples.
+        batched = sample_mallows(modal, theta, n_rankings, rng=23)
+        reference = _reference_sample(modal, theta, n_rankings, seed=23)
+        assert batched.to_order_lists() == [ranking.to_list() for ranking in reference]
+
+        batched_s = _best_of(lambda: sample_mallows(modal, theta, n_rankings, rng=23))
+        reference_s = _best_of(
+            lambda: _reference_sample(modal, theta, n_rankings, seed=23)
+        )
+        speedup = reference_s / batched_s
+        sampler_rows.append(
+            {
+                "n_candidates": n_candidates,
+                "n_rankings": n_rankings,
+                "theta": theta,
+                "batched_s": batched_s,
+                "reference_s": reference_s,
+                "speedup": speedup,
+            }
+        )
+
+    # The speedup gate applies at the acceptance configuration: the largest
+    # (n_candidates * n_rankings) workload timed, regardless of listing order.
+    # MANI_RANK_PERF_MIN_SPEEDUP loosens the gate where timings are noisy but
+    # the run should still regenerate results (the nightly shared runners).
+    min_speedup = float(
+        os.environ.get("MANI_RANK_PERF_MIN_SPEEDUP", parameters["min_speedup"])
+    )
+    acceptance = max(
+        sampler_rows, key=lambda row: row["n_candidates"] * row["n_rankings"]
+    )
+    assert acceptance["speedup"] >= min_speedup, (
+        f"batched Mallows sampler only {acceptance['speedup']:.1f}x faster than "
+        f"the scalar reference at n={acceptance['n_candidates']}, "
+        f"m={acceptance['n_rankings']} (required {min_speedup}x)"
+    )
+
+    # ------------------------------------------------------------------
+    # RankingSet bulk construction from a position matrix
+    # ------------------------------------------------------------------
+    n = parameters["construction_n"]
+    m = parameters["construction_m"]
+    modal = Ranking(np.random.default_rng(n).permutation(n))
+    positions = sample_mallows_position_matrix(
+        modal, theta, m, np.random.default_rng(31)
+    )
+    orders = [
+        Ranking.from_positions(positions[row]).to_list() for row in range(m)
+    ]
+    assert (
+        RankingSet.from_position_matrix(positions).to_order_lists()
+        == RankingSet.from_orders(orders).to_order_lists()
+    )
+    construction_rows = [
+        {
+            "constructor": "from_position_matrix",
+            "configuration": f"m={m}, n={n}",
+            "seconds": _best_of(lambda: RankingSet.from_position_matrix(positions)),
+        },
+        {
+            "constructor": "from_orders (validating)",
+            "configuration": f"m={m}, n={n}",
+            "seconds": _best_of(lambda: RankingSet.from_orders(orders)),
+        },
+    ]
+
+    # ------------------------------------------------------------------
+    # persist the trajectory — full scale only, so a smoke run (CI, quick
+    # local checks) never overwrites the committed full-scale baseline
+    # ------------------------------------------------------------------
+    if scale != "full":
+        return
+    payload = {
+        "benchmark": "perf_datagen",
+        "scale": scale,
+        "parameters": {
+            key: value for key, value in parameters.items() if key != "min_speedup"
+        },
+        "sampler": sampler_rows,
+        "construction": construction_rows,
+    }
+    (results_directory / "perf_datagen.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    text = "\n\n".join(
+        [
+            f"perf_datagen (scale={scale})",
+            "Mallows sampling (batched vs scalar reference)\n"
+            + render_table(sampler_rows, digits=4),
+            "RankingSet construction\n" + render_table(construction_rows, digits=4),
+        ]
+    )
+    (results_directory / "perf_datagen.txt").write_text(text + "\n")

@@ -118,10 +118,15 @@ def test_perf_hot_paths(results_directory):
         make_mr_fair_rows.append(row)
 
     # The speedup at the largest configuration both evaluators ran.
+    # MANI_RANK_PERF_MIN_SPEEDUP loosens the gate where timings are noisy but
+    # the run should still regenerate results (the nightly shared runners).
+    min_speedup = float(
+        os.environ.get("MANI_RANK_PERF_MIN_SPEEDUP", parameters["min_speedup"])
+    )
     assert acceptance_speedup is not None
-    assert acceptance_speedup >= parameters["min_speedup"], (
+    assert acceptance_speedup >= min_speedup, (
         f"incremental make_mr_fair only {acceptance_speedup:.1f}x faster than "
-        f"the from-scratch evaluator (required {parameters['min_speedup']}x)"
+        f"the from-scratch evaluator (required {min_speedup}x)"
     )
 
     # ------------------------------------------------------------------

@@ -1,9 +1,12 @@
 """Setuptools shim.
 
-The canonical project metadata lives in ``pyproject.toml``.  This file exists
-only so that ``python setup.py develop`` works in offline environments whose
-setuptools/pip combination cannot perform PEP 660 editable installs (no
-``wheel`` package available).
+This file exists so that ``python setup.py develop`` works in offline
+environments whose setuptools/pip combination cannot perform PEP 660
+editable installs (no ``wheel`` package available).  Note that
+``pyproject.toml`` carries lint configuration only — its presence makes
+``pip install -e .`` attempt a PEP 517 isolated build, which needs network
+access; offline, use ``python setup.py develop`` (or pass
+``--no-build-isolation``).
 """
 
 from setuptools import setup

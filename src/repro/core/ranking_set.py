@@ -104,6 +104,75 @@ class RankingSet:
         return cls(rankings, labels=labels, weights=weights)
 
     @classmethod
+    def from_position_matrix(
+        cls,
+        positions: np.ndarray,
+        labels: Sequence[str] | None = None,
+        weights: Sequence[float] | None = None,
+        validate: bool = True,
+        copy: bool = True,
+    ) -> "RankingSet":
+        """Bulk-build a ranking set from an ``m x n`` candidate-position matrix.
+
+        Row ``r`` maps candidate id -> 0-based position in base ranking ``r``
+        (the same layout :meth:`position_matrix` returns, so the two are
+        inverses).  This is the fast path for batched generators such as
+        :func:`repro.datagen.mallows.sample_mallows`: the per-ranking order
+        arrays are produced by one vectorised scatter, the member
+        :class:`Ranking` objects skip re-validation, and the position-matrix
+        cache is pre-seeded so downstream kernels (precedence matrix, batched
+        Kendall tau) never re-stack the per-ranking arrays.
+
+        Parameters
+        ----------
+        positions:
+            Integer matrix of shape ``(m, n)``; every row must be a
+            permutation of ``0..n-1``.
+        validate:
+            When ``True`` (default) every row's permutation property is
+            checked (vectorised).  Trusted internal callers can disable it.
+        copy:
+            When ``True`` (default) the pre-seeded cache is decoupled from
+            the caller's array, so later caller-side mutation cannot desync
+            :meth:`position_matrix` from the member rankings.  Callers that
+            hand over ownership of a freshly built matrix (e.g. the batched
+            Mallows sampler) pass ``False`` to skip the redundant copy; the
+            array is then frozen read-only in place.
+        """
+        position_matrix = np.ascontiguousarray(positions, dtype=np.int64)
+        if copy and isinstance(positions, np.ndarray) and np.shares_memory(
+            position_matrix, positions
+        ):
+            position_matrix = position_matrix.copy()
+        if position_matrix.ndim != 2 or position_matrix.shape[1] == 0:
+            raise RankingError(
+                "position matrix must be 2-D with at least one candidate, "
+                f"got shape {position_matrix.shape}"
+            )
+        m, n = position_matrix.shape
+        if m == 0:
+            raise RankingError("a ranking set must contain at least one ranking")
+        if validate:
+            expected = np.arange(n, dtype=np.int64)
+            if not np.array_equal(np.sort(position_matrix, axis=1), np.broadcast_to(expected, (m, n))):
+                bad = int(
+                    np.flatnonzero(
+                        (np.sort(position_matrix, axis=1) != expected).any(axis=1)
+                    )[0]
+                )
+                raise RankingError(
+                    f"row {bad} of the position matrix is not a permutation of 0..{n - 1}"
+                )
+        # Scatter positions -> orders: order[r, positions[r, c]] = c.
+        orders = np.empty((m, n), dtype=np.int64)
+        orders[np.arange(m)[:, None], position_matrix] = np.arange(n, dtype=np.int64)
+        rankings = [Ranking(orders[r], validate=False) for r in range(m)]
+        ranking_set = cls(rankings, labels=labels, weights=weights)
+        position_matrix.setflags(write=False)
+        ranking_set._position_cache = position_matrix
+        return ranking_set
+
+    @classmethod
     def from_score_columns(
         cls,
         score_columns: dict[str, Sequence[float]],

@@ -25,7 +25,9 @@ from repro.datagen.mallows import (
     expected_kendall_distance,
     mallows_normalization,
     sample_mallows,
+    sample_mallows_position_matrix,
     sample_mallows_ranking,
+    sample_mallows_ranking_reference,
 )
 
 __all__ = [
@@ -37,7 +39,9 @@ __all__ = [
     "GENDER_DOMAIN",
     "RACE_DOMAIN",
     "sample_mallows",
+    "sample_mallows_position_matrix",
     "sample_mallows_ranking",
+    "sample_mallows_ranking_reference",
     "expected_kendall_distance",
     "mallows_normalization",
     "FAIRNESS_PROFILES",

@@ -15,12 +15,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.datagen.attributes import scalability_table
-from repro.datagen.fair_modal import calibrated_modal_ranking
-from repro.datagen.mallows import sample_mallows
-from repro.experiments.harness import evaluate_method, require_scale
+from repro.experiments.harness import (
+    ScenarioGrid,
+    evaluate_labelled_cell,
+    require_scale,
+)
 from repro.experiments.reporting import ExperimentResult
-from repro.fair.registry import PAPER_LABELS, get_fair_method
 from repro.fairness.parity import parity_scores
 
 __all__ = ["run", "SCALABILITY_MODAL_TARGETS"]
@@ -55,8 +55,16 @@ def run(
     parameters = _SCALE_PARAMETERS[scale]
     counts = tuple(ranking_counts) if ranking_counts is not None else parameters["ranking_counts"]
     labels = tuple(method_labels) if method_labels is not None else parameters["labels"]
-    table = scalability_table(parameters["n_candidates"], rng=seed)
-    modal = calibrated_modal_ranking(table, SCALABILITY_MODAL_TARGETS, rng=seed)
+    grid = ScenarioGrid.product(
+        candidate_counts=(parameters["n_candidates"],),
+        ranking_counts=counts,
+        thetas=(theta,),
+        modal_targets=SCALABILITY_MODAL_TARGETS,
+        param_grid={"label": labels, "delta": (delta,)},
+        seed=seed,
+    )
+    table = grid.table_for(parameters["n_candidates"])
+    modal = grid.modal_for(parameters["n_candidates"], SCALABILITY_MODAL_TARGETS)
     result = ExperimentResult(
         experiment="figure6",
         title="Figure 6: scalability with an increasing number of base rankings",
@@ -73,18 +81,8 @@ def run(
             "methods": list(labels),
         },
     )
-    for count in counts:
-        rankings = sample_mallows(modal, theta, count, rng=seed + count)
-        for label in labels:
-            method = get_fair_method(label)
-            evaluation = evaluate_method(method, rankings, table, delta)
-            result.add(
-                n_rankings=count,
-                label=label,
-                method=f"({label}) {PAPER_LABELS.get(label.upper(), evaluation.method)}",
-                runtime_s=evaluation.runtime_seconds,
-                pd_loss=evaluation.pd_loss,
-            )
+
+    result.extend(grid.run(evaluate_labelled_cell))
     if scale == "ci":
         result.notes.append(
             "ci scale shrinks both the candidate count and the ranking counts "

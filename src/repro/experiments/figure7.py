@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.datagen.attributes import scalability_table
-from repro.datagen.fair_modal import calibrated_modal_ranking
-from repro.datagen.mallows import sample_mallows
-from repro.experiments.harness import evaluate_method, require_scale
+from repro.experiments.harness import (
+    ScenarioGrid,
+    evaluate_labelled_cell,
+    require_scale,
+)
 from repro.experiments.reporting import ExperimentResult
-from repro.fair.registry import PAPER_LABELS, get_fair_method
 
 __all__ = ["run", "FIGURE7_MODAL_TARGETS"]
 
@@ -75,22 +75,16 @@ def run(
             "methods": list(labels),
         },
     )
-    for n_candidates in counts:
-        table = scalability_table(n_candidates, rng=seed)
-        modal = calibrated_modal_ranking(table, FIGURE7_MODAL_TARGETS, rng=seed)
-        rankings = sample_mallows(modal, theta, parameters["n_rankings"], rng=seed + n_candidates)
-        for delta in deltas:
-            for label in labels:
-                method = get_fair_method(label)
-                evaluation = evaluate_method(method, rankings, table, delta)
-                result.add(
-                    n_candidates=n_candidates,
-                    delta=delta,
-                    label=label,
-                    method=f"({label}) {PAPER_LABELS.get(label.upper(), evaluation.method)}",
-                    runtime_s=evaluation.runtime_seconds,
-                    pd_loss=evaluation.pd_loss,
-                )
+    grid = ScenarioGrid.product(
+        candidate_counts=counts,
+        ranking_counts=(parameters["n_rankings"],),
+        thetas=(theta,),
+        modal_targets=FIGURE7_MODAL_TARGETS,
+        param_grid={"delta": deltas, "label": labels},
+        seed=seed,
+    )
+
+    result.extend(grid.run(evaluate_labelled_cell))
     if scale == "ci":
         result.notes.append(
             "ci scale restricts the sweep to polynomial-time methods and "

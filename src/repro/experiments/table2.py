@@ -14,11 +14,9 @@ import time
 from collections.abc import Sequence
 
 from repro.aggregation.borda import BordaAggregator
-from repro.datagen.attributes import scalability_table
-from repro.datagen.fair_modal import calibrated_modal_ranking
-from repro.datagen.mallows import sample_mallows
+from repro.core.ranking_set import RankingSet
 from repro.experiments.figure6 import SCALABILITY_MODAL_TARGETS
-from repro.experiments.harness import require_scale
+from repro.experiments.harness import ScenarioCell, ScenarioGrid, require_scale
 from repro.experiments.reporting import ExperimentResult
 from repro.fair.make_mr_fair import make_mr_fair
 from repro.fairness.thresholds import FairnessThresholds
@@ -58,10 +56,20 @@ def run(
     scale = require_scale(scale)
     parameters = _SCALE_PARAMETERS[scale]
     counts = tuple(ranking_counts) if ranking_counts is not None else parameters["ranking_counts"]
-    table = scalability_table(parameters["n_candidates"], rng=seed)
-    modal = calibrated_modal_ranking(table, SCALABILITY_MODAL_TARGETS, rng=seed)
     base_count = min(min(counts), 1_000)
-    base = sample_mallows(modal, theta, base_count, rng=seed)
+    # The grid materialises the shared kernels (table, calibrated modal, the
+    # batched base sample) once; the per-tier sets below are replications of
+    # that base cell.
+    grid = ScenarioGrid(
+        [
+            ScenarioCell.build(
+                parameters["n_candidates"], base_count, theta, SCALABILITY_MODAL_TARGETS
+            )
+        ],
+        seed=seed,
+    )
+    base_data = grid.materialize(grid.cells[0])
+    table, base = base_data.table, base_data.rankings
     thresholds = FairnessThresholds(delta)
     borda = BordaAggregator()
     result = ExperimentResult(
@@ -75,11 +83,10 @@ def run(
             "seed": seed,
         },
     )
+    result.parameters["base_datagen_s"] = base_data.datagen_seconds
     for count in counts:
         repetitions, remainder = divmod(count, base.n_rankings)
         rankings = list(base.rankings) * repetitions + list(base.rankings[:remainder])
-        from repro.core.ranking_set import RankingSet
-
         ranking_set = RankingSet(rankings)
         start = time.perf_counter()
         seed_ranking = borda.aggregate(ranking_set)

@@ -13,11 +13,8 @@ import time
 from collections.abc import Sequence
 
 from repro.aggregation.borda import BordaAggregator
-from repro.datagen.attributes import scalability_table
-from repro.datagen.fair_modal import calibrated_modal_ranking
-from repro.datagen.mallows import sample_mallows
 from repro.experiments.figure7 import FIGURE7_MODAL_TARGETS
-from repro.experiments.harness import require_scale
+from repro.experiments.harness import ScenarioData, ScenarioGrid, require_scale
 from repro.experiments.reporting import ExperimentResult
 from repro.fair.make_mr_fair import make_mr_fair
 from repro.fairness.thresholds import FairnessThresholds
@@ -70,22 +67,26 @@ def run(
             "seed": seed,
         },
     )
-    for n_candidates in counts:
-        table = scalability_table(n_candidates, rng=seed)
-        modal = calibrated_modal_ranking(table, FIGURE7_MODAL_TARGETS, rng=seed)
-        rankings = sample_mallows(
-            modal, theta, parameters["n_rankings"], rng=seed + n_candidates
-        )
+    grid = ScenarioGrid.product(
+        candidate_counts=counts,
+        ranking_counts=(parameters["n_rankings"],),
+        thetas=(theta,),
+        modal_targets=FIGURE7_MODAL_TARGETS,
+        seed=seed,
+    )
+
+    def _measure(data: ScenarioData) -> dict[str, object]:
         start = time.perf_counter()
-        seed_ranking = borda.aggregate(rankings)
-        corrected = make_mr_fair(seed_ranking, table, thresholds)
+        seed_ranking = borda.aggregate(data.rankings)
+        corrected = make_mr_fair(seed_ranking, data.table, thresholds)
         elapsed = time.perf_counter() - start
-        result.add(
-            n_candidates=n_candidates,
-            runtime_s=elapsed,
-            n_swaps=corrected.n_swaps,
-            paper_runtime_s=PAPER_RUNTIMES.get(n_candidates, float("nan")),
-        )
+        return {
+            "runtime_s": elapsed,
+            "n_swaps": corrected.n_swaps,
+            "paper_runtime_s": PAPER_RUNTIMES.get(data.cell.n_candidates, float("nan")),
+        }
+
+    result.extend(grid.run(_measure))
     result.notes.append(
         "Runtime excludes dataset generation (the paper also times only the "
         "aggregation); absolute times are machine dependent, the growth shape "

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.aggregation.copeland import CopelandAggregator, copeland_scores
 from repro.aggregation.local_search import LocalSearchKemenyAggregator, local_kemenization

@@ -172,3 +172,54 @@ class TestManipulation:
     def test_to_order_lists(self, tiny_rankings):
         orders = tiny_rankings.to_order_lists()
         assert orders[0] == [0, 3, 5, 1, 2, 4]
+
+
+class TestFromPositionMatrix:
+    def test_round_trips_position_matrix(self, rng):
+        orders = np.vstack([rng.permutation(7) for _ in range(5)])
+        reference = RankingSet.from_orders(orders)
+        rebuilt = RankingSet.from_position_matrix(reference.position_matrix())
+        assert rebuilt.to_order_lists() == reference.to_order_lists()
+
+    def test_position_cache_is_preseeded(self):
+        positions = np.array([[0, 1, 2], [2, 0, 1]])
+        ranking_set = RankingSet.from_position_matrix(positions)
+        cached = ranking_set.position_matrix()
+        assert np.array_equal(cached, positions)
+        assert not cached.flags.writeable
+        # The caller's array keeps its own flags: with the default copy=True
+        # the cache is a decoupled copy, never an alias of the caller's array.
+        assert positions.flags.writeable
+
+    def test_member_rankings_are_consistent(self):
+        positions = np.array([[1, 0, 2], [2, 1, 0]])
+        ranking_set = RankingSet.from_position_matrix(positions)
+        assert ranking_set[0].to_list() == [1, 0, 2]
+        assert ranking_set[1].to_list() == [2, 1, 0]
+
+    def test_labels_and_weights_forwarded(self):
+        positions = np.array([[0, 1], [1, 0]])
+        ranking_set = RankingSet.from_position_matrix(
+            positions, labels=["a", "b"], weights=[1.0, 2.0]
+        )
+        assert ranking_set.labels == ("a", "b")
+        assert ranking_set.weights.tolist() == [1.0, 2.0]
+
+    def test_non_permutation_row_rejected(self):
+        with pytest.raises(RankingError):
+            RankingSet.from_position_matrix(np.array([[0, 1, 2], [0, 0, 2]]))
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(RankingError):
+            RankingSet.from_position_matrix(np.array([0, 1, 2]))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(RankingError):
+            RankingSet.from_position_matrix(np.empty((0, 4), dtype=np.int64))
+
+    def test_cache_is_decoupled_from_caller_mutation(self):
+        positions = np.array([[0, 1, 2], [2, 0, 1]])
+        ranking_set = RankingSet.from_position_matrix(positions)
+        positions[0] = [2, 1, 0]
+        assert ranking_set.position_matrix()[0].tolist() == [0, 1, 2]
+        assert ranking_set[0].to_list() == [0, 1, 2]

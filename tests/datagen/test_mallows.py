@@ -11,7 +11,9 @@ from repro.datagen.mallows import (
     expected_kendall_distance,
     mallows_normalization,
     sample_mallows,
+    sample_mallows_position_matrix,
     sample_mallows_ranking,
+    sample_mallows_ranking_reference,
 )
 from repro.exceptions import DataGenerationError
 
@@ -69,6 +71,85 @@ class TestSampling:
     def test_labels_generated(self):
         rankings = sample_mallows(Ranking.identity(4), 0.5, 3, rng=0)
         assert rankings.labels == ("mallows-1", "mallows-2", "mallows-3")
+
+
+class TestBatchedScalarEquivalence:
+    """The batched sampler must reproduce the scalar RIM bit-for-bit."""
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, 1.0, 5.0])
+    def test_shared_seed_gives_identical_samples(self, theta):
+        modal = Ranking(np.random.default_rng(3).permutation(17))
+        batched_rng = np.random.default_rng(99)
+        scalar_rng = np.random.default_rng(99)
+        batched = sample_mallows(modal, theta, 25, rng=batched_rng)
+        scalar = [
+            sample_mallows_ranking_reference(modal, theta, scalar_rng)
+            for _ in range(25)
+        ]
+        assert [r.to_list() for r in batched] == [r.to_list() for r in scalar]
+
+    def test_shared_seed_leaves_identical_generator_state(self):
+        modal = Ranking.identity(9)
+        batched_rng = np.random.default_rng(5)
+        scalar_rng = np.random.default_rng(5)
+        sample_mallows(modal, 0.7, 12, rng=batched_rng)
+        for _ in range(12):
+            sample_mallows_ranking_reference(modal, 0.7, scalar_rng)
+        # Downstream draws (e.g. a second dataset from the same stream) match.
+        assert batched_rng.integers(1 << 30) == scalar_rng.integers(1 << 30)
+
+    def test_scalar_wrapper_matches_reference(self):
+        modal = Ranking.identity(8)
+        first = sample_mallows_ranking(modal, 0.5, np.random.default_rng(2))
+        second = sample_mallows_ranking_reference(modal, 0.5, np.random.default_rng(2))
+        assert first == second
+
+    def test_position_matrix_matches_ranking_set(self):
+        modal = Ranking(np.random.default_rng(4).permutation(11))
+        positions = sample_mallows_position_matrix(
+            modal, 0.6, 8, np.random.default_rng(21)
+        )
+        rankings = sample_mallows(modal, 0.6, 8, rng=np.random.default_rng(21))
+        assert np.array_equal(positions, rankings.position_matrix())
+
+    def test_batched_expected_distance_matches_closed_form(self):
+        modal = Ranking.identity(12)
+        for theta in (0.2, 0.8):
+            rankings = sample_mallows(modal, theta, 1_500, rng=int(theta * 10))
+            empirical = float(np.mean(rankings.kendall_tau_vector(modal)))
+            assert empirical == pytest.approx(
+                expected_kendall_distance(12, theta), rel=0.08
+            )
+
+
+class TestEdgeCases:
+    def test_theta_zero_positions_are_uniform(self):
+        # Under theta = 0 every candidate's position is marginally uniform:
+        # each row of the average one-hot position histogram tends to 1/n.
+        n, m = 6, 4_000
+        rankings = sample_mallows(Ranking.identity(n), 0.0, m, rng=17)
+        positions = rankings.position_matrix()
+        counts = np.stack(
+            [(positions == p).sum(axis=0) for p in range(n)]
+        )
+        frequencies = counts / m
+        assert np.abs(frequencies - 1.0 / n).max() < 0.03
+
+    def test_very_large_theta_collapses_to_modal(self):
+        modal = Ranking(np.random.default_rng(8).permutation(14))
+        rankings = sample_mallows(modal, 80.0, 40, rng=5)
+        assert all(ranking == modal for ranking in rankings)
+
+    def test_single_candidate(self):
+        rankings = sample_mallows(Ranking.identity(1), 0.9, 7, rng=1)
+        assert rankings.n_rankings == 7
+        assert all(ranking.to_list() == [0] for ranking in rankings)
+
+    def test_batched_negative_theta_rejected(self):
+        with pytest.raises(DataGenerationError):
+            sample_mallows_position_matrix(
+                Ranking.identity(4), -0.5, 3, np.random.default_rng(0)
+            )
 
 
 class TestClosedForms:

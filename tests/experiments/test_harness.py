@@ -7,6 +7,8 @@ import pytest
 from repro.experiments.harness import (
     DEFAULT_THETAS,
     SCALES,
+    ScenarioCell,
+    ScenarioGrid,
     evaluate_method,
     methods_by_label,
     record_from_evaluation,
@@ -51,7 +53,7 @@ class TestEvaluateMethod:
             0.1,
             reference_unaware=reference,
         )
-        from repro.fairness.pd_loss import pd_loss, price_of_fairness
+        from repro.fairness.pd_loss import price_of_fairness
 
         expected = price_of_fairness(small_dataset.rankings, evaluation.ranking, reference)
         assert evaluation.price_of_fairness == pytest.approx(expected)
@@ -84,6 +86,106 @@ class TestThetaSweep:
         first = theta_sweep_datasets(small_table, "low", (0.4,), 5, seed=3)
         second = theta_sweep_datasets(small_table, "low", (0.4,), 5, seed=3)
         assert first[0].rankings.to_order_lists() == second[0].rankings.to_order_lists()
+
+
+class TestScenarioGrid:
+    TARGETS = {"Race": 0.4, "Gender": 0.5}
+
+    def test_product_cell_order(self):
+        grid = ScenarioGrid.product(
+            candidate_counts=(10, 20),
+            ranking_counts=(5,),
+            thetas=(0.6,),
+            modal_targets=self.TARGETS,
+            param_grid={"delta": (0.1, 0.33)},
+            seed=3,
+        )
+        assert len(grid.cells) == 4
+        # Data axes outermost, parameter axes innermost.
+        assert [(c.n_candidates, c.extras["delta"]) for c in grid.cells] == [
+            (10, 0.1),
+            (10, 0.33),
+            (20, 0.1),
+            (20, 0.33),
+        ]
+
+    def test_kernels_are_cached_across_cells(self):
+        grid = ScenarioGrid.product(
+            candidate_counts=(12,),
+            ranking_counts=(6,),
+            thetas=(0.6,),
+            modal_targets=self.TARGETS,
+            param_grid={"delta": (0.1, 0.33)},
+            seed=3,
+        )
+        first = grid.materialize(grid.cells[0])
+        second = grid.materialize(grid.cells[1])
+        assert first.table is second.table
+        assert first.modal is second.modal
+        assert first.rankings is second.rankings
+
+    def test_run_records_axes_params_and_timings(self):
+        grid = ScenarioGrid.product(
+            candidate_counts=(12,),
+            ranking_counts=(6,),
+            thetas=(0.6,),
+            modal_targets=self.TARGETS,
+            param_grid={"delta": (0.1,)},
+            seed=3,
+        )
+        records = grid.run(lambda data: {"m": data.rankings.n_rankings})
+        assert len(records) == 1
+        record = records[0]
+        assert record["n_candidates"] == 12
+        assert record["n_rankings"] == 6
+        assert record["theta"] == 0.6
+        assert record["delta"] == 0.1
+        assert record["m"] == 6
+        assert record["datagen_s"] >= 0.0
+        assert record["cell_s"] >= 0.0
+
+    def test_materialized_data_is_deterministic(self):
+        def build():
+            grid = ScenarioGrid(
+                [ScenarioCell.build(12, 6, 0.6, self.TARGETS)], seed=11
+            )
+            return grid.materialize(grid.cells[0])
+
+        first, second = build(), build()
+        assert first.modal == second.modal
+        assert first.rankings.to_order_lists() == second.rankings.to_order_lists()
+
+    def test_sampling_streams_differ_across_theta(self):
+        grid = ScenarioGrid.product(
+            candidate_counts=(12,),
+            ranking_counts=(6,),
+            thetas=(0.2, 0.8),
+            modal_targets=self.TARGETS,
+            seed=3,
+        )
+        first, second = grid.cells[0], grid.cells[1]
+        # Distinct workloads must not be comonotone: the underlying uniform
+        # streams differ, not just the θ-dependent CDF inversion.
+        assert (
+            grid._cell_rng(first).random(4).tolist()
+            != grid._cell_rng(second).random(4).tolist()
+        )
+
+    def test_run_evicts_passed_workload_samples(self):
+        grid = ScenarioGrid.product(
+            candidate_counts=(10,),
+            ranking_counts=(4, 6),
+            thetas=(0.6,),
+            modal_targets=self.TARGETS,
+            seed=3,
+        )
+        grid.run(lambda data: {})
+        # Only the last workload's sample stays cached after a sweep.
+        assert len(grid._rankings) == 1
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            ScenarioGrid([])
 
 
 class TestMethodsByLabel:

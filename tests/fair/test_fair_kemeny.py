@@ -10,7 +10,6 @@ from repro.core.ranking_set import RankingSet
 from repro.exceptions import AggregationError, InfeasibleProblemError
 from repro.fair.fair_kemeny import FairKemenyAggregator, add_parity_constraints
 from repro.fairness.parity import mani_rank_satisfied, parity_scores
-from repro.optimize.milp_backend import solve_linear_ordering
 from repro.optimize.model import LinearOrderingModel
 
 

@@ -8,7 +8,6 @@ Only the fast examples are executed directly; the two case-study examples
 from __future__ import annotations
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

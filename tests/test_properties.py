@@ -8,12 +8,10 @@ Fair-Borda post-conditions).
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.candidates import CandidateTable
-from repro.core.ranking import Ranking
 from repro.core.ranking_set import RankingSet
 from repro.fair.seeded import FairBordaAggregator
 from repro.fairness.fpr import fpr_by_group
