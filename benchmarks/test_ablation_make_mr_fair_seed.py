@@ -11,6 +11,7 @@ Borda, while Correct-Fairest-Perm is clearly worse.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.datagen.attributes import small_mallows_table
@@ -42,37 +43,65 @@ def test_ablation_seed_method(benchmark, dataset, method_name):
     assert 0.0 <= loss <= 1.0
 
 
-@pytest.mark.xfail(
-    reason=(
-        "Pre-existing failure carried from PR 2 (see CHANGES.md): the paper's "
-        "Section IV-B claim that consensus seeds represent the base rankings "
-        "at least as well as Correct-Fairest-Perm is distributional, but this "
-        "test checks it on a single draw (seed 13, n=40), where "
-        "correct-fairest-perm happens to land a lower PD loss (0.346 vs "
-        "0.383) than every consensus seed.  Turning the check into a "
-        "multi-seed average is tracked in ROADMAP 'Open items'."
-    ),
-    strict=False,
-)
-def test_seed_ablation_summary(dataset, save_result):
-    """Collect the PD-loss comparison across seeds into a reproducible table."""
+#: Number of independent dataset draws averaged by the summary test.  The
+#: Section IV-B claim is distributional: any single draw can land on the
+#: wrong side (seed 13 famously does — the source of the former xfail).
+N_ABLATION_SEEDS = 12
+
+
+def test_seed_ablation_summary(save_result):
+    """Multi-seed PD-loss comparison across Make-MR-Fair seed methods.
+
+    The paper's Section IV-B observation — correcting a genuine consensus
+    seed represents the base rankings at least as well as correcting the
+    fairest base ranking (Correct-Fairest-Perm) — is a statement about the
+    data-generating process, so it is tested as an average over
+    ``N_ABLATION_SEEDS`` independently drawn Low-Fair Mallows datasets
+    rather than a single draw (the former single-draw check at seed 13 was
+    an xfail precisely because that draw lands on the wrong side).
+    """
     from repro.experiments.reporting import ExperimentResult
 
     delta = 0.1
+    table = small_mallows_table(group_size=3)
     result = ExperimentResult(
         experiment="ablation_seed",
-        title="Ablation: Make-MR-Fair seed method vs PD loss (Low-Fair, delta=0.1)",
-        parameters={"delta": delta, "n_candidates": dataset.table.n_candidates},
+        title=(
+            "Ablation: Make-MR-Fair seed method vs PD loss "
+            f"(Low-Fair, delta=0.1, mean over {N_ABLATION_SEEDS} seeds)"
+        ),
+        parameters={
+            "delta": delta,
+            "n_candidates": table.n_candidates,
+            "n_rankings": 40,
+            "theta": 0.6,
+            "n_seeds": N_ABLATION_SEEDS,
+            "base_seed": 13,
+        },
     )
-    losses = {}
-    for method_name in SEED_METHODS:
-        consensus = get_fair_method(method_name).aggregate(
-            dataset.rankings, dataset.table, delta
+    losses: dict[str, list[float]] = {name: [] for name in SEED_METHODS}
+    for child in np.random.SeedSequence(13).spawn(N_ABLATION_SEEDS):
+        rng = np.random.default_rng(child)
+        dataset = generate_mallows_dataset(
+            table, "low", theta=0.6, n_rankings=40, rng=rng
         )
-        losses[method_name] = pd_loss(dataset.rankings, consensus)
-        result.add(method=method_name, pd_loss=losses[method_name])
+        for method_name in SEED_METHODS:
+            consensus = get_fair_method(method_name).aggregate(
+                dataset.rankings, dataset.table, delta
+            )
+            assert mani_rank_satisfied(consensus, dataset.table, delta)
+            losses[method_name].append(pd_loss(dataset.rankings, consensus))
+    means = {name: float(np.mean(values)) for name, values in losses.items()}
+    for method_name in SEED_METHODS:
+        result.add(
+            method=method_name,
+            pd_loss_mean=means[method_name],
+            pd_loss_min=float(np.min(losses[method_name])),
+            pd_loss_max=float(np.max(losses[method_name])),
+        )
     save_result(result)
     # Correcting the fairest base ranking represents the base set no better
-    # than correcting a genuine consensus seed (paper Section IV-B).
-    best_seeded = min(losses[name] for name in SEED_METHODS[:4])
-    assert best_seeded <= losses["correct-fairest-perm"] + 0.02
+    # than correcting a genuine consensus seed (paper Section IV-B), on
+    # average over the data distribution.
+    best_seeded = min(means[name] for name in SEED_METHODS[:4])
+    assert best_seeded <= means["correct-fairest-perm"] + 0.005

@@ -40,6 +40,7 @@ from repro.aggregation import (
     CopelandAggregator,
     FootruleAggregator,
     KemenyAggregator,
+    KemenyDeltaEngine,
     LocalSearchKemenyAggregator,
     PickAPermAggregator,
     SchulzeAggregator,
@@ -120,6 +121,7 @@ __all__ = [
     "KemenyAggregator",
     "PickAPermAggregator",
     "FootruleAggregator",
+    "KemenyDeltaEngine",
     "LocalSearchKemenyAggregator",
     "get_aggregator",
     # fair methods

@@ -8,8 +8,13 @@ from repro.aggregation.base import AggregationResult, RankAggregator
 from repro.aggregation.borda import BordaAggregator, borda_scores
 from repro.aggregation.copeland import CopelandAggregator, copeland_scores
 from repro.aggregation.footrule import FootruleAggregator, footrule_cost_matrix
+from repro.aggregation.incremental import KemenyDeltaEngine
 from repro.aggregation.kemeny import KemenyAggregator, exact_kemeny
-from repro.aggregation.local_search import LocalSearchKemenyAggregator, local_kemenization
+from repro.aggregation.local_search import (
+    LocalSearchKemenyAggregator,
+    local_kemenization,
+    local_kemenization_reference,
+)
 from repro.aggregation.markov_chain import (
     MarkovChainAggregator,
     mc4_transition_matrix,
@@ -35,8 +40,10 @@ __all__ = [
     "PickAPermAggregator",
     "FootruleAggregator",
     "footrule_cost_matrix",
+    "KemenyDeltaEngine",
     "LocalSearchKemenyAggregator",
     "local_kemenization",
+    "local_kemenization_reference",
     "MarkovChainAggregator",
     "mc4_transition_matrix",
     "stationary_distribution",

@@ -86,6 +86,8 @@ class RankingSet:
 
         self._precedence_cache: np.ndarray | None = None
         self._weighted_precedence_cache: np.ndarray | None = None
+        self._margin_cache: np.ndarray | None = None
+        self._weighted_margin_cache: np.ndarray | None = None
         self._position_cache: np.ndarray | None = None
         self._unit_weights_cache: np.ndarray | None = None
 
@@ -294,6 +296,30 @@ class RankingSet:
         else:
             self._precedence_cache = matrix
         return matrix
+
+    def margin_matrix(self, weighted: bool = False) -> np.ndarray:
+        """Return the pairwise margin matrix ``M = W - W^T``.
+
+        ``M[a, b]`` is the net number of base rankings preferring ``b`` to
+        ``a`` — the objective change of demoting ``a`` below ``b`` from
+        adjacent positions, which is the quantity every swap-based local
+        search reads per candidate move.  Cached (like the precedence matrix
+        it derives from) because each
+        :class:`~repro.aggregation.incremental.KemenyDeltaEngine` built over
+        this set starts from it.
+        """
+        if weighted and self._weighted_margin_cache is not None:
+            return self._weighted_margin_cache
+        if not weighted and self._margin_cache is not None:
+            return self._margin_cache
+        precedence = self.precedence_matrix(weighted=weighted)
+        margin = precedence - precedence.T
+        margin.setflags(write=False)
+        if weighted:
+            self._weighted_margin_cache = margin
+        else:
+            self._margin_cache = margin
+        return margin
 
     def kendall_tau_vector(self, ranking: Ranking) -> np.ndarray:
         """Exact Kendall tau distance from ``ranking`` to every base ranking.

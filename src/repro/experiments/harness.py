@@ -389,6 +389,7 @@ class ScenarioGrid:
     def run(
         self,
         cell_function: Callable[[ScenarioData], Mapping[str, object]],
+        n_workers: int | None = 1,
     ) -> list[dict[str, object]]:
         """Run ``cell_function`` on every cell and collect per-cell records.
 
@@ -402,7 +403,36 @@ class ScenarioGrid:
         :class:`RankingSet` is evicted from the cache as soon as the sweep
         moves past it.  The small table/modal caches are kept; a cell order
         that revisits a workload simply regenerates the identical sample.
+
+        Parameters
+        ----------
+        n_workers:
+            ``1`` (or ``None``) runs the sweep serially in-process.  With
+            ``n_workers > 1`` the sweep's *workload groups* (maximal runs of
+            consecutive cells sharing one (n, m, theta, group-composition)
+            sample) are distributed over a process pool.  Every cached kernel
+            is immutable and every workload's sampling stream derives from
+            the grid seed plus the cell's own data axes — never from sweep
+            order — so the records are **bit-identical** to the serial sweep
+            regardless of worker count, except for the two wall-clock timing
+            fields (``datagen_s``/``cell_s``; workers rebuild the shared
+            table/modal kernels per group, which also only shows up there).
+            Requires ``cell_function`` (and a custom ``table_factory``, if
+            any) to be picklable, e.g. a module-level function or a
+            :func:`functools.partial` over one.
         """
+        workers = 1 if n_workers is None else int(n_workers)
+        if workers < 1:
+            raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
+        if workers == 1:
+            return self._run_serial(cell_function)
+        return self._run_parallel(cell_function, workers)
+
+    def _run_serial(
+        self,
+        cell_function: Callable[[ScenarioData], Mapping[str, object]],
+    ) -> list[dict[str, object]]:
+        """In-process sweep (see :meth:`run` for the record contract)."""
         records: list[dict[str, object]] = []
         previous_key: tuple | None = None
         for cell in self.cells:
@@ -425,6 +455,69 @@ class ScenarioGrid:
             record["cell_s"] = cell_seconds
             records.append(record)
         return records
+
+    def workload_groups(self) -> list[list[ScenarioCell]]:
+        """Maximal runs of consecutive cells sharing one materialised sample.
+
+        This is the parallel sweep's unit of work: cells inside a group share
+        the (potentially large) Mallows sample, so splitting a group across
+        workers would regenerate it once per worker for no extra parallelism
+        at the sweep's memory-bound bottleneck.
+        """
+        groups: list[list[ScenarioCell]] = []
+        previous_key: tuple | None = None
+        for cell in self.cells:
+            key = self._rankings_key(cell)
+            if previous_key is None or key != previous_key:
+                groups.append([])
+            groups[-1].append(cell)
+            previous_key = key
+        return groups
+
+    def _run_parallel(
+        self,
+        cell_function: Callable[[ScenarioData], Mapping[str, object]],
+        n_workers: int,
+    ) -> list[dict[str, object]]:
+        """Distribute the workload groups over a process pool, order-stable."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        groups = self.workload_groups()
+        if len(groups) == 1:
+            # A single workload group cannot be split (its cells share one
+            # materialised sample), so a pool would add fork/pickle overhead
+            # for zero parallelism — and skew any timing measurements.
+            return self._run_serial(cell_function)
+        records: list[dict[str, object]] = []
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(groups))) as pool:
+            for group_records in pool.map(
+                _run_cell_group,
+                (
+                    (self.seed, self._table_factory, group, cell_function)
+                    for group in groups
+                ),
+            ):
+                records.extend(group_records)
+        return records
+
+
+def _run_cell_group(
+    task: tuple[
+        int,
+        Callable[..., CandidateTable],
+        list[ScenarioCell],
+        Callable[[ScenarioData], Mapping[str, object]],
+    ],
+) -> list[dict[str, object]]:
+    """Worker entry point of the parallel sweep: one workload group, serially.
+
+    Module-level so it pickles under every multiprocessing start method.  The
+    worker rebuilds its shared kernels from the grid seed (deterministic, so
+    only the timing fields can differ from a serial sweep).
+    """
+    seed, table_factory, cells, cell_function = task
+    grid = ScenarioGrid(cells, seed=seed, table_factory=table_factory)
+    return grid._run_serial(cell_function)
 
 
 def evaluate_labelled_cell(data: ScenarioData) -> dict[str, object]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from functools import partial
 
 from repro.aggregation.borda import BordaAggregator
 from repro.experiments.figure7 import FIGURE7_MODAL_TARGETS
@@ -38,14 +39,33 @@ _SCALE_PARAMETERS = {
 }
 
 
+def _measure_cell(data: ScenarioData, delta: float) -> dict[str, object]:
+    """Time one Fair-Borda run on a materialised cell (module-level so the
+    parallel sweep can pickle it)."""
+    start = time.perf_counter()
+    seed_ranking = BordaAggregator().aggregate(data.rankings)
+    corrected = make_mr_fair(seed_ranking, data.table, FairnessThresholds(delta))
+    elapsed = time.perf_counter() - start
+    return {
+        "runtime_s": elapsed,
+        "n_swaps": corrected.n_swaps,
+        "paper_runtime_s": PAPER_RUNTIMES.get(data.cell.n_candidates, float("nan")),
+    }
+
+
 def run(
     scale: str = "ci",
     delta: float = 0.33,
     theta: float = 0.6,
     seed: int = 2022,
     candidate_counts: Sequence[int] | None = None,
+    n_workers: int | None = 1,
 ) -> ExperimentResult:
-    """Reproduce Table III: Fair-Borda execution time vs candidate count (Δ = 0.33)."""
+    """Reproduce Table III: Fair-Borda execution time vs candidate count (Δ = 0.33).
+
+    ``n_workers > 1`` runs the per-``n`` workload groups on a process pool
+    (identical measurements apart from wall-clock noise on shared cores).
+    """
     scale = require_scale(scale)
     parameters = _SCALE_PARAMETERS[scale]
     counts = (
@@ -53,8 +73,6 @@ def run(
         if candidate_counts is not None
         else parameters["candidate_counts"]
     )
-    thresholds = FairnessThresholds(delta)
-    borda = BordaAggregator()
     result = ExperimentResult(
         experiment="table3",
         title="Table III: Fair-Borda scalability in the number of candidates",
@@ -75,18 +93,9 @@ def run(
         seed=seed,
     )
 
-    def _measure(data: ScenarioData) -> dict[str, object]:
-        start = time.perf_counter()
-        seed_ranking = borda.aggregate(data.rankings)
-        corrected = make_mr_fair(seed_ranking, data.table, thresholds)
-        elapsed = time.perf_counter() - start
-        return {
-            "runtime_s": elapsed,
-            "n_swaps": corrected.n_swaps,
-            "paper_runtime_s": PAPER_RUNTIMES.get(data.cell.n_candidates, float("nan")),
-        }
-
-    result.extend(grid.run(_measure))
+    result.extend(
+        grid.run(partial(_measure_cell, delta=delta), n_workers=n_workers)
+    )
     result.notes.append(
         "Runtime excludes dataset generation (the paper also times only the "
         "aggregation); absolute times are machine dependent, the growth shape "

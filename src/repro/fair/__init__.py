@@ -10,6 +10,11 @@ from repro.fair.baselines import (
     unfairness_score,
 )
 from repro.fair.fair_kemeny import CONSTRAINT_MODES, FairKemenyAggregator, add_parity_constraints
+from repro.fair.local_repair import (
+    FairLocalRepairResult,
+    fair_local_kemenization,
+    fair_local_kemenization_reference,
+)
 from repro.fair.make_mr_fair import MakeMRFairResult, make_mr_fair
 from repro.fair.registry import (
     PAPER_LABELS,
@@ -33,6 +38,9 @@ __all__ = [
     "FairAggregationResult",
     "make_mr_fair",
     "MakeMRFairResult",
+    "fair_local_kemenization",
+    "fair_local_kemenization_reference",
+    "FairLocalRepairResult",
     "FairKemenyAggregator",
     "add_parity_constraints",
     "CONSTRAINT_MODES",

@@ -47,10 +47,18 @@ PAPER_LABELS: dict[str, str] = {
     "B4": "Correct-Fairest-Perm",
 }
 
+def _fair_borda_repaired() -> FairRankAggregator:
+    """Fair-Borda followed by the fairness-preserving local Kemeny repair."""
+    method = FairBordaAggregator(local_repair=True)
+    method.name = "Fair-Borda+LK"
+    return method
+
+
 _FACTORIES: dict[str, Callable[[], FairRankAggregator]] = {
     "fair-kemeny": FairKemenyAggregator,
     "fair-schulze": FairSchulzeAggregator,
     "fair-borda": FairBordaAggregator,
+    "fair-borda-repaired": _fair_borda_repaired,
     "fair-copeland": FairCopelandAggregator,
     "fair-footrule": FairFootruleAggregator,
     "fair-mc4": FairMarkovChainAggregator,

@@ -9,6 +9,13 @@ MANI-Rank criteria hold at the requested ``Δ``.
 that any :class:`~repro.aggregation.base.RankAggregator` (e.g. the footrule or
 local-search heuristics) can be made fairness-aware; the three named classes
 are the paper's methods.
+
+With ``local_repair=True`` the correction is post-processed by
+:func:`repro.fair.local_repair.fair_local_kemenization` — a
+fairness-preserving local Kemenization that harvests the adjacent swaps which
+reduce the Kemeny objective without leaving the MANI-Rank-feasible region
+(an extension beyond the paper; runs on the incremental Kemeny-delta and
+fairness engines, so the extra cost is one bubble-pass loop).
 """
 
 from __future__ import annotations
@@ -38,10 +45,30 @@ __all__ = [
 
 
 class SeededFairAggregator(FairRankAggregator):
-    """Generic MFCR method: fairness-unaware seed consensus + Make-MR-Fair."""
+    """Generic MFCR method: fairness-unaware seed consensus + Make-MR-Fair.
 
-    def __init__(self, seed_aggregator: RankAggregator, name: str | None = None) -> None:
+    Parameters
+    ----------
+    seed_aggregator:
+        The fairness-unaware method producing the initial consensus.
+    name:
+        Display name; defaults to ``Fair-<seed name>``.
+    local_repair:
+        When ``True``, follow the Make-MR-Fair correction with a
+        fairness-preserving local Kemenization
+        (:func:`repro.fair.local_repair.fair_local_kemenization`) that
+        recovers Kemeny objective (and hence PD loss) without violating the
+        thresholds.
+    """
+
+    def __init__(
+        self,
+        seed_aggregator: RankAggregator,
+        name: str | None = None,
+        local_repair: bool = False,
+    ) -> None:
         self._seed = seed_aggregator
+        self._local_repair = local_repair
         self.name = name if name is not None else f"Fair-{seed_aggregator.name}"
 
     @property
@@ -57,37 +84,50 @@ class SeededFairAggregator(FairRankAggregator):
     ) -> FairAggregationResult:
         seed_result = self._seed.aggregate_with_diagnostics(rankings)
         correction = make_mr_fair(seed_result.ranking, table, delta)
+        ranking = correction.ranking
+        diagnostics: dict[str, object] = {
+            "seed_method": self._seed.name,
+            "n_swaps": correction.n_swaps,
+            "corrected_entities": correction.corrected_entities,
+        }
+        if self._local_repair:
+            from repro.fair.local_repair import fair_local_kemenization
+
+            repair = fair_local_kemenization(rankings, ranking, table, delta)
+            ranking = repair.ranking
+            diagnostics["repair_swaps"] = repair.n_swaps
+            diagnostics["repair_objective"] = repair.objective
         return FairAggregationResult(
-            ranking=correction.ranking,
+            ranking=ranking,
             method=self.name,
             unaware_ranking=seed_result.ranking,
-            diagnostics={
-                "seed_method": self._seed.name,
-                "n_swaps": correction.n_swaps,
-                "corrected_entities": correction.corrected_entities,
-            },
+            diagnostics=diagnostics,
         )
 
 
 class FairBordaAggregator(SeededFairAggregator):
     """Fair-Borda: Borda consensus corrected with Make-MR-Fair (fastest MFCR method)."""
 
-    def __init__(self) -> None:
-        super().__init__(BordaAggregator(), name="Fair-Borda")
+    def __init__(self, local_repair: bool = False) -> None:
+        super().__init__(BordaAggregator(), name="Fair-Borda", local_repair=local_repair)
 
 
 class FairCopelandAggregator(SeededFairAggregator):
     """Fair-Copeland: Copeland consensus corrected with Make-MR-Fair."""
 
-    def __init__(self) -> None:
-        super().__init__(CopelandAggregator(), name="Fair-Copeland")
+    def __init__(self, local_repair: bool = False) -> None:
+        super().__init__(
+            CopelandAggregator(), name="Fair-Copeland", local_repair=local_repair
+        )
 
 
 class FairSchulzeAggregator(SeededFairAggregator):
     """Fair-Schulze: Schulze consensus corrected with Make-MR-Fair."""
 
-    def __init__(self) -> None:
-        super().__init__(SchulzeAggregator(), name="Fair-Schulze")
+    def __init__(self, local_repair: bool = False) -> None:
+        super().__init__(
+            SchulzeAggregator(), name="Fair-Schulze", local_repair=local_repair
+        )
 
 
 class FairFootruleAggregator(SeededFairAggregator):

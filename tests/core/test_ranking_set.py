@@ -133,6 +133,25 @@ class TestPrecedenceMatrix:
         with pytest.raises(ValueError):
             tiny_rankings.precedence_matrix()[0, 0] = 1.0
 
+    def test_margin_matrix_is_antisymmetric_difference(self, tiny_rankings):
+        margin = tiny_rankings.margin_matrix()
+        precedence = tiny_rankings.precedence_matrix()
+        assert np.array_equal(margin, precedence - precedence.T)
+        assert np.array_equal(margin, -margin.T)
+
+    def test_margin_matrix_is_cached_and_read_only(self, tiny_rankings):
+        assert tiny_rankings.margin_matrix() is tiny_rankings.margin_matrix()
+        with pytest.raises(ValueError):
+            tiny_rankings.margin_matrix()[0, 1] = 1.0
+
+    def test_weighted_margin_matrix(self, tiny_rankings):
+        weighted = tiny_rankings.with_weights([0.5, 2.0, 1.25])
+        margin = weighted.margin_matrix(weighted=True)
+        precedence = weighted.precedence_matrix(weighted=True)
+        assert np.array_equal(margin, precedence - precedence.T)
+        assert margin is weighted.margin_matrix(weighted=True)
+        assert margin is not weighted.margin_matrix()
+
 
 class TestPositions:
     def test_position_matrix_shape(self, tiny_rankings):

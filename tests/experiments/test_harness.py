@@ -187,6 +187,107 @@ class TestScenarioGrid:
         with pytest.raises(ExperimentError):
             ScenarioGrid([])
 
+    def test_invalid_worker_count_rejected(self):
+        grid = ScenarioGrid([ScenarioCell.build(8, 4, 0.6, self.TARGETS)], seed=3)
+        with pytest.raises(ExperimentError):
+            grid.run(_count_rankings, n_workers=0)
+
+    def test_workload_groups_split_on_data_axes_only(self):
+        grid = ScenarioGrid.product(
+            candidate_counts=(10, 12),
+            ranking_counts=(4,),
+            thetas=(0.6,),
+            modal_targets=self.TARGETS,
+            param_grid={"delta": (0.1, 0.33)},
+            seed=3,
+        )
+        groups = grid.workload_groups()
+        # Two workloads (one per candidate count), each holding both deltas.
+        assert [len(group) for group in groups] == [2, 2]
+        assert [cell for group in groups for cell in group] == grid.cells
+
+
+#: Timing fields excluded from the parallel-determinism comparison (the only
+#: fields allowed to differ between serial and parallel sweeps).
+TIMING_FIELDS = {"datagen_s", "cell_s", "runtime_s"}
+
+
+def _strip_timings(record: dict) -> dict:
+    return {
+        key: value for key, value in record.items() if key not in TIMING_FIELDS
+    }
+
+
+def _count_rankings(data) -> dict:
+    """Module-level cell callback (picklable for the process pool)."""
+    return {
+        "m": data.rankings.n_rankings,
+        "first_order": data.rankings[0].to_list(),
+        "modal_head": int(data.modal[0]),
+    }
+
+
+class TestParallelScenarioGrid:
+    TARGETS = {"Race": 0.4, "Gender": 0.5}
+
+    def _grid(self) -> ScenarioGrid:
+        return ScenarioGrid.product(
+            candidate_counts=(10, 14),
+            ranking_counts=(4, 6),
+            thetas=(0.4, 0.8),
+            modal_targets=self.TARGETS,
+            param_grid={"delta": (0.1,)},
+            seed=11,
+        )
+
+    def test_parallel_records_identical_to_serial(self):
+        serial = self._grid().run(_count_rankings, n_workers=1)
+        parallel = self._grid().run(_count_rankings, n_workers=4)
+        assert len(serial) == len(parallel) == 8
+        assert [_strip_timings(r) for r in serial] == [
+            _strip_timings(r) for r in parallel
+        ]
+        # Timing fields are still present on every parallel record.
+        assert all(
+            TIMING_FIELDS - {"runtime_s"} <= set(record) for record in parallel
+        )
+
+    def test_worker_count_does_not_change_records(self):
+        two = self._grid().run(_count_rankings, n_workers=2)
+        three = self._grid().run(_count_rankings, n_workers=3)
+        assert [_strip_timings(r) for r in two] == [_strip_timings(r) for r in three]
+
+    def test_n_workers_none_means_serial(self):
+        records = self._grid().run(_count_rankings, n_workers=None)
+        assert [_strip_timings(r) for r in records] == [
+            _strip_timings(r) for r in self._grid().run(_count_rankings)
+        ]
+
+    def test_single_cell_grid_runs_in_process(self):
+        grid = ScenarioGrid([ScenarioCell.build(8, 4, 0.6, self.TARGETS)], seed=3)
+        records = grid.run(_count_rankings, n_workers=4)
+        assert len(records) == 1
+        assert records[0]["m"] == 4
+
+    def test_parallel_method_sweep_matches_serial(self):
+        from repro.experiments.harness import evaluate_labelled_cell
+
+        def build():
+            return ScenarioGrid.product(
+                candidate_counts=(12,),
+                ranking_counts=(6,),
+                thetas=(0.6,),
+                modal_targets=self.TARGETS,
+                param_grid={"label": ("A3", "B3"), "delta": (0.1,)},
+                seed=3,
+            )
+
+        serial = build().run(evaluate_labelled_cell, n_workers=1)
+        parallel = build().run(evaluate_labelled_cell, n_workers=2)
+        assert [_strip_timings(r) for r in serial] == [
+            _strip_timings(r) for r in parallel
+        ]
+
 
 class TestMethodsByLabel:
     def test_instantiates_requested_labels(self):
