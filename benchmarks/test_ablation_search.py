@@ -1,0 +1,60 @@
+"""Ablation benchmark: local-search neighbourhood strategies on the Mallows grid.
+
+Runs the ``ablation-search`` experiment (see
+:mod:`repro.experiments.ablation_search`) and checks its structural claims on
+every grid cell before persisting the regenerated table:
+
+* each (data axes, seed) cell reports all three strategies;
+* the ``insertion`` strategy's Kemeny objective is **never worse** than the
+  ``adjacent-swap`` strategy's — this is the acceptance guarantee of the
+  strategy subsystem (the variable-neighbourhood schedule makes it
+  structural, and ``tests/aggregation/test_search_strategies.py`` property-
+  tests the same dominance on random inputs);
+* every strategy's objective from the Borda seed is no worse than from the
+  adversarial cold seed... not guaranteed — local search is a heuristic — so
+  that is deliberately *not* asserted; only the per-cell dominance is.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import run_experiment
+
+STRATEGIES = {"adjacent-swap", "insertion", "combined"}
+
+
+def test_ablation_search_strategies(bench_scale, save_result):
+    result = run_experiment("ablation-search", scale=bench_scale)
+
+    cells: dict[tuple, dict[str, dict]] = defaultdict(dict)
+    for record in result.records:
+        key = (
+            record["n_candidates"],
+            record["n_rankings"],
+            record["theta"],
+            record["seed_ranking"],
+        )
+        cells[key][str(record["strategy"])] = record
+    assert cells, "ablation produced no records"
+
+    for key, by_strategy in cells.items():
+        assert set(by_strategy) == STRATEGIES, key
+        adjacent = by_strategy["adjacent-swap"]
+        insertion = by_strategy["insertion"]
+        # The acceptance criterion: never worse, on every grid cell.
+        assert insertion["objective"] <= adjacent["objective"], key
+        for record in by_strategy.values():
+            assert record["objective"] >= 0.0
+            assert record["search_s"] >= 0.0
+
+    # The cold seed must leave actual work: at least one cell where the
+    # bubble descent runs multiple passes (guards against the ablation
+    # silently degenerating into converged no-op cells).
+    assert any(
+        by_strategy["adjacent-swap"]["n_passes"] > 1
+        for key, by_strategy in cells.items()
+        if key[3] == "cold"
+    )
+
+    save_result(result)

@@ -66,7 +66,7 @@ def _reference_sample(modal: Ranking, theta: float, m: int, seed: int) -> list[R
     return [sample_mallows_ranking_reference(modal, theta, rng) for _ in range(m)]
 
 
-def test_perf_datagen(results_directory):
+def test_perf_datagen(results_directory, perf_output_directory):
     scale = os.environ.get("MANI_RANK_PERF_SCALE", "full")
     parameters = _SCALE_PARAMETERS[scale]
     theta = parameters["theta"]
@@ -146,9 +146,13 @@ def test_perf_datagen(results_directory):
 
     # ------------------------------------------------------------------
     # persist the trajectory — full scale only, so a smoke run (CI, quick
-    # local checks) never overwrites the committed full-scale baseline
+    # local checks) never overwrites the committed full-scale baseline;
+    # MANI_RANK_PERF_RESULTS_DIR redirects persistence (any scale) to a
+    # scratch directory the CI perf-smoke job uploads and compares
     # ------------------------------------------------------------------
-    if scale != "full":
+    if perf_output_directory is not None:
+        results_directory = perf_output_directory
+    elif scale != "full":
         return
     payload = {
         "benchmark": "perf_datagen",

@@ -78,7 +78,7 @@ def _best_of(function, repeat: int = 3) -> float:
     return min(timeit.repeat(function, number=1, repeat=repeat))
 
 
-def test_perf_hot_paths(results_directory):
+def test_perf_hot_paths(results_directory, perf_output_directory):
     scale = os.environ.get("MANI_RANK_PERF_SCALE", "full")
     parameters = _SCALE_PARAMETERS[scale]
     delta = parameters["delta"]
@@ -192,9 +192,13 @@ def test_perf_hot_paths(results_directory):
 
     # ------------------------------------------------------------------
     # persist the trajectory — full scale only, so a smoke run (CI, quick
-    # local checks) never overwrites the committed full-scale baseline
+    # local checks) never overwrites the committed full-scale baseline;
+    # MANI_RANK_PERF_RESULTS_DIR redirects persistence (any scale) to a
+    # scratch directory the CI perf-smoke job uploads and compares
     # ------------------------------------------------------------------
-    if scale != "full":
+    if perf_output_directory is not None:
+        results_directory = perf_output_directory
+    elif scale != "full":
         return
     payload = {
         "benchmark": "perf_hot_paths",

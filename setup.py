@@ -2,10 +2,11 @@
 
 This file exists so that ``python setup.py develop`` works in offline
 environments whose setuptools/pip combination cannot perform PEP 660
-editable installs (no ``wheel`` package available).  Note that
-``pyproject.toml`` carries lint configuration only — its presence makes
-``pip install -e .`` attempt a PEP 517 isolated build, which needs network
-access; offline, use ``python setup.py develop`` (or pass
+editable installs (no ``wheel`` package available).  All metadata — the
+package name, the ``mani-rank`` console script, the ``dev`` extra — lives in
+the ``[project]`` table of ``pyproject.toml`` (setuptools >= 61 reads it from
+here too).  ``pip install -e .`` attempts a PEP 517 isolated build, which
+needs network access; offline, use ``python setup.py develop`` (or pass
 ``--no-build-isolation``).
 """
 

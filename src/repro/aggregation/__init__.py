@@ -23,6 +23,14 @@ from repro.aggregation.markov_chain import (
 from repro.aggregation.pick_a_perm import PickAPermAggregator
 from repro.aggregation.ranked_pairs import RankedPairsAggregator
 from repro.aggregation.schulze import SchulzeAggregator, schulze_scores, strongest_paths
+from repro.aggregation.search import (
+    NeighborhoodStrategy,
+    SearchStats,
+    available_strategies,
+    get_strategy,
+    insertion_local_search_reference,
+    local_search,
+)
 from repro.exceptions import AggregationError
 
 __all__ = [
@@ -44,6 +52,12 @@ __all__ = [
     "LocalSearchKemenyAggregator",
     "local_kemenization",
     "local_kemenization_reference",
+    "NeighborhoodStrategy",
+    "SearchStats",
+    "available_strategies",
+    "get_strategy",
+    "insertion_local_search_reference",
+    "local_search",
     "MarkovChainAggregator",
     "mc4_transition_matrix",
     "stationary_distribution",

@@ -332,6 +332,44 @@ class KemenyDeltaEngine:
             self._invalidate_sweep_mask()
         return delta
 
+    def move_deltas(self, candidate: int) -> np.ndarray:
+        """Objective change of moving ``candidate`` to *every* target position.
+
+        One vectorised gather of the candidate's margin row against the
+        current order; entry ``q`` equals ``delta_move(candidate, q)``
+        (``0.0`` at the current position).  Writing ``g`` for the gathered
+        row and ``P`` for its prefix sums, a move from position ``p`` costs
+        ``P[p] - P[q]`` when rising and ``P[p + 1] - P[q + 1]`` when falling
+        — so the whole row of targets is scored in O(n) with no Python loop.
+
+        For unweighted ranking sets every value is an exact integer-valued
+        float and matches :meth:`delta_move` bit for bit; for weighted
+        matrices the prefix-sum differences may round differently from the
+        window sums, so treat the entries as scores, not committed deltas
+        (:meth:`apply_move` always recomputes the applied delta).
+        """
+        position = self._positions()[candidate]
+        gathered = self._margin[candidate, self._order_array]
+        prefix = np.empty(self._n + 1, dtype=float)
+        prefix[0] = 0.0
+        np.cumsum(gathered, out=prefix[1:])
+        deltas = np.empty(self._n, dtype=float)
+        deltas[: position + 1] = prefix[position] - prefix[: position + 1]
+        deltas[position + 1 :] = prefix[position + 1] - prefix[position + 2 :]
+        return deltas
+
+    def best_move(self, candidate: int) -> tuple[float, int]:
+        """Best-improvement insertion target for ``candidate``.
+
+        Returns ``(delta, position)`` for the target position minimising the
+        objective change (ties broken towards the smallest position, matching
+        ``argmin``); ``delta >= 0.0`` means no insertion move of this
+        candidate improves the consensus.
+        """
+        deltas = self.move_deltas(candidate)
+        best = int(deltas.argmin())
+        return float(deltas[best]), best
+
     # ------------------------------------------------------------------
     # local-Kemenization bubble pass
     # ------------------------------------------------------------------

@@ -19,6 +19,12 @@ scalar lookups per adjacent pair per pass.  The original implementation is
 retained verbatim as :func:`local_kemenization_reference`; the test suite
 asserts both produce the identical final ranking on every exercised input,
 and ``benchmarks/test_perf_local_search.py`` tracks the speedup.
+
+The adjacent-transposition neighbourhood is one of several the engine can
+price: :mod:`repro.aggregation.search` packages it alongside an insertion
+(block-move) neighbourhood and a combined schedule as pluggable
+:class:`~repro.aggregation.search.NeighborhoodStrategy` objects, and
+:class:`LocalSearchKemenyAggregator` accepts ``strategy=...`` to pick one.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import numpy as np
 from repro.aggregation.base import AggregationResult, RankAggregator
 from repro.aggregation.borda import BordaAggregator
 from repro.aggregation.incremental import KemenyDeltaEngine
+from repro.aggregation.search import NeighborhoodStrategy, get_strategy
 from repro.core.ranking import Ranking
 from repro.core.ranking_set import RankingSet
 
@@ -85,28 +92,48 @@ def local_kemenization_reference(
 
 
 class LocalSearchKemenyAggregator(RankAggregator):
-    """Borda seed followed by local Kemenization (a fast Kemeny heuristic)."""
+    """Borda seed followed by engine-backed local search (a fast Kemeny heuristic).
+
+    Parameters
+    ----------
+    max_passes:
+        Pass budget handed to the strategy.
+    strategy:
+        Neighbourhood to search — a name accepted by
+        :func:`repro.aggregation.search.get_strategy` (``"adjacent-swap"``,
+        ``"insertion"``, ``"combined"``) or a strategy instance.  The default
+        ``adjacent-swap`` keeps the classic local-Kemenization behaviour,
+        bit-identical to the Borda + :func:`local_kemenization_reference`
+        pipeline.
+    """
 
     name = "LocalKemeny"
 
-    def __init__(self, max_passes: int = 50) -> None:
+    def __init__(
+        self,
+        max_passes: int = 50,
+        strategy: str | NeighborhoodStrategy = "adjacent-swap",
+    ) -> None:
         self._max_passes = max_passes
+        self._strategy = get_strategy(strategy)
+        if self._strategy.name != "adjacent-swap":
+            self.name = f"LocalKemeny[{self._strategy.name}]"
 
     def _aggregate(self, rankings: RankingSet) -> AggregationResult:
         seed = BordaAggregator().aggregate(rankings)
         engine = KemenyDeltaEngine(rankings, seed)
-        n_passes = 0
-        for _ in range(self._max_passes):
-            if not engine.sweep_adjacent():
-                break
-            n_passes += 1
+        stats = self._strategy.search(engine, max_passes=self._max_passes)
         # The objective is queried only after convergence: reading it earlier
         # would force per-pass delta accounting the sweeps otherwise skip.
+        diagnostics: dict[str, object] = {
+            "objective": engine.objective,
+            "n_passes": stats.n_passes,
+            "strategy": stats.strategy,
+        }
+        if stats.n_moves is not None:
+            diagnostics["n_moves"] = stats.n_moves
         return AggregationResult(
             ranking=engine.to_ranking(),
             method=self.name,
-            diagnostics={
-                "objective": engine.objective,
-                "n_passes": n_passes,
-            },
+            diagnostics=diagnostics,
         )

@@ -7,9 +7,17 @@ Usage::
     mani-rank run table4 --scale paper     # full-size run
     mani-rank run figure5 --output out.json --quiet
     mani-rank aggregate rankings.csv candidates.csv --method fair-borda --delta 0.1
+    mani-rank aggregate rankings.csv candidates.csv --strategy insertion
 
 The ``aggregate`` subcommand runs a fair consensus method on user-supplied CSV
-files (formats documented in :mod:`repro.io.csv_io`).
+files (formats documented in :mod:`repro.io.csv_io`).  ``--strategy`` appends
+a fairness-preserving local-search repair to a seeded method (Fair-Borda,
+Fair-Copeland, Fair-Schulze, ...): ``adjacent-swap`` harvests the Kemeny-
+improving adjacent transpositions that stay MANI-Rank feasible, ``insertion``
+additionally applies fairness-filtered block moves (never recovering less
+objective than ``adjacent-swap``), and ``combined`` explores block moves
+first and polishes with adjacent swaps — see
+:mod:`repro.aggregation.search` and :mod:`repro.fair.local_repair`.
 """
 
 from __future__ import annotations
@@ -18,8 +26,11 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.aggregation.search import available_strategies
+from repro.exceptions import AggregationError
 from repro.experiments import available_experiments, run_experiment
 from repro.fair.registry import available_fair_methods, get_fair_method
+from repro.fair.seeded import SeededFairAggregator
 from repro.fairness.parity import parity_scores
 from repro.fairness.pd_loss import pd_loss
 from repro.io.csv_io import read_candidate_table, read_ranking_set
@@ -64,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate_parser.add_argument(
         "--delta", type=float, default=0.1, help="MANI-Rank fairness threshold"
     )
+    aggregate_parser.add_argument(
+        "--strategy",
+        default=None,
+        choices=available_strategies(),
+        help=(
+            "post-process a seeded method with a fairness-preserving "
+            "local-search repair using this neighbourhood strategy"
+        ),
+    )
     return parser
 
 
@@ -95,8 +115,19 @@ def _command_aggregate(args: argparse.Namespace) -> int:
     table = read_candidate_table(args.candidates_csv)
     rankings = read_ranking_set(args.rankings_csv, table)
     method = get_fair_method(args.method)
-    consensus = method.aggregate(rankings, table, args.delta)
+    if args.strategy is not None:
+        if not isinstance(method, SeededFairAggregator):
+            raise AggregationError(
+                f"--strategy requires a seeded method (Fair-Borda, "
+                f"Fair-Copeland, ...); {method.name!r} does not run the "
+                "local-search repair"
+            )
+        method = method.with_local_repair(args.strategy)
+    result = method.aggregate_with_diagnostics(rankings, table, args.delta)
+    consensus = result.ranking
     print(f"method: {method.name}   delta: {args.delta}")
+    if "repair_strategy" in result.diagnostics:
+        print(f"local repair: {result.diagnostics['repair_strategy']}")
     print("consensus (best to worst):")
     print("  " + ", ".join(table.name_of(candidate) for candidate in consensus))
     print(f"PD loss: {pd_loss(rankings, consensus):.4f}")

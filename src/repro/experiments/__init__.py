@@ -9,6 +9,7 @@ from collections.abc import Callable
 
 from repro.exceptions import ExperimentError
 from repro.experiments import (
+    ablation_search,
     figure3,
     figure4,
     figure5,
@@ -52,6 +53,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "table3": (table3.run, "Fair-Borda candidate scalability (Table III)"),
     "table4": (table4.run, "Exam merit-scholarship case study (Table IV)"),
     "table5": (table5.run, "CSRankings case study (Table V, appendix)"),
+    "ablation-search": (
+        ablation_search.run,
+        "Local-search neighbourhood strategy ablation (extension)",
+    ),
 }
 
 

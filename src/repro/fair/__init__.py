@@ -12,8 +12,11 @@ from repro.fair.baselines import (
 from repro.fair.fair_kemeny import CONSTRAINT_MODES, FairKemenyAggregator, add_parity_constraints
 from repro.fair.local_repair import (
     FairLocalRepairResult,
+    fair_insertion_kemenization,
+    fair_insertion_kemenization_reference,
     fair_local_kemenization,
     fair_local_kemenization_reference,
+    fair_local_search,
 )
 from repro.fair.make_mr_fair import MakeMRFairResult, make_mr_fair
 from repro.fair.registry import (
@@ -40,6 +43,9 @@ __all__ = [
     "MakeMRFairResult",
     "fair_local_kemenization",
     "fair_local_kemenization_reference",
+    "fair_insertion_kemenization",
+    "fair_insertion_kemenization_reference",
+    "fair_local_search",
     "FairLocalRepairResult",
     "FairKemenyAggregator",
     "add_parity_constraints",

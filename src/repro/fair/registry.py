@@ -54,11 +54,25 @@ def _fair_borda_repaired() -> FairRankAggregator:
     return method
 
 
+def _fair_borda_insertion() -> FairRankAggregator:
+    """Fair-Borda followed by the fairness-constrained insertion repair.
+
+    The repair's block moves are filtered by the incremental
+    :class:`~repro.fairness.incremental.FairnessState` MANI-Rank feasibility
+    check; the result never recovers less Kemeny objective than
+    ``fair-borda-repaired``.
+    """
+    method = FairBordaAggregator(local_repair="insertion")
+    method.name = "Fair-Borda+Ins"
+    return method
+
+
 _FACTORIES: dict[str, Callable[[], FairRankAggregator]] = {
     "fair-kemeny": FairKemenyAggregator,
     "fair-schulze": FairSchulzeAggregator,
     "fair-borda": FairBordaAggregator,
     "fair-borda-repaired": _fair_borda_repaired,
+    "fair-borda-insertion": _fair_borda_insertion,
     "fair-copeland": FairCopelandAggregator,
     "fair-footrule": FairFootruleAggregator,
     "fair-mc4": FairMarkovChainAggregator,

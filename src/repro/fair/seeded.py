@@ -15,7 +15,12 @@ With ``local_repair=True`` the correction is post-processed by
 fairness-preserving local Kemenization that harvests the adjacent swaps which
 reduce the Kemeny objective without leaving the MANI-Rank-feasible region
 (an extension beyond the paper; runs on the incremental Kemeny-delta and
-fairness engines, so the extra cost is one bubble-pass loop).
+fairness engines, so the extra cost is one bubble-pass loop).  Passing a
+strategy name instead of ``True`` (``"adjacent-swap"``, ``"insertion"``,
+``"combined"``) selects the repair neighbourhood via
+:func:`repro.fair.local_repair.fair_local_search`; ``"insertion"`` adds
+fairness-filtered block moves and never recovers less Kemeny objective than
+the adjacent repair.
 """
 
 from __future__ import annotations
@@ -58,23 +63,48 @@ class SeededFairAggregator(FairRankAggregator):
         fairness-preserving local Kemenization
         (:func:`repro.fair.local_repair.fair_local_kemenization`) that
         recovers Kemeny objective (and hence PD loss) without violating the
-        thresholds.
+        thresholds.  A strategy name (``"adjacent-swap"``, ``"insertion"``,
+        ``"combined"``) selects the repair neighbourhood instead; ``False``
+        disables the repair.
     """
 
     def __init__(
         self,
         seed_aggregator: RankAggregator,
         name: str | None = None,
-        local_repair: bool = False,
+        local_repair: bool | str = False,
     ) -> None:
         self._seed = seed_aggregator
-        self._local_repair = local_repair
+        if local_repair is True:
+            local_repair = "adjacent-swap"
+        if local_repair:
+            from repro.aggregation.search import get_strategy
+
+            # Validate (and normalise) the strategy name eagerly so a typo
+            # fails at construction, not mid-aggregation.
+            local_repair = get_strategy(local_repair).name
+        self._local_repair: str | bool = local_repair
         self.name = name if name is not None else f"Fair-{seed_aggregator.name}"
 
     @property
     def seed_aggregator(self) -> RankAggregator:
         """The fairness-unaware method producing the initial consensus."""
         return self._seed
+
+    @property
+    def local_repair(self) -> str | bool:
+        """The repair strategy name, or ``False`` when the repair is off."""
+        return self._local_repair
+
+    def with_local_repair(self, strategy: bool | str) -> "SeededFairAggregator":
+        """A copy of this method with the given repair strategy (CLI plumbing).
+
+        The clone reverts to the default ``Fair-<seed>`` name: a bespoke name
+        like ``Fair-Borda+LK`` describes a *specific* repair, so keeping it
+        while swapping the strategy would mislabel the result (callers that
+        care about the repair read the ``repair_strategy`` diagnostic).
+        """
+        return SeededFairAggregator(self._seed, local_repair=strategy)
 
     def _aggregate(
         self,
@@ -91,12 +121,17 @@ class SeededFairAggregator(FairRankAggregator):
             "corrected_entities": correction.corrected_entities,
         }
         if self._local_repair:
-            from repro.fair.local_repair import fair_local_kemenization
+            from repro.fair.local_repair import fair_local_search
 
-            repair = fair_local_kemenization(rankings, ranking, table, delta)
+            repair = fair_local_search(
+                rankings, ranking, table, delta, strategy=str(self._local_repair)
+            )
             ranking = repair.ranking
+            diagnostics["repair_strategy"] = self._local_repair
             diagnostics["repair_swaps"] = repair.n_swaps
             diagnostics["repair_objective"] = repair.objective
+            if repair.n_moves is not None:
+                diagnostics["repair_moves"] = repair.n_moves
         return FairAggregationResult(
             ranking=ranking,
             method=self.name,
@@ -108,14 +143,14 @@ class SeededFairAggregator(FairRankAggregator):
 class FairBordaAggregator(SeededFairAggregator):
     """Fair-Borda: Borda consensus corrected with Make-MR-Fair (fastest MFCR method)."""
 
-    def __init__(self, local_repair: bool = False) -> None:
+    def __init__(self, local_repair: bool | str = False) -> None:
         super().__init__(BordaAggregator(), name="Fair-Borda", local_repair=local_repair)
 
 
 class FairCopelandAggregator(SeededFairAggregator):
     """Fair-Copeland: Copeland consensus corrected with Make-MR-Fair."""
 
-    def __init__(self, local_repair: bool = False) -> None:
+    def __init__(self, local_repair: bool | str = False) -> None:
         super().__init__(
             CopelandAggregator(), name="Fair-Copeland", local_repair=local_repair
         )
@@ -124,7 +159,7 @@ class FairCopelandAggregator(SeededFairAggregator):
 class FairSchulzeAggregator(SeededFairAggregator):
     """Fair-Schulze: Schulze consensus corrected with Make-MR-Fair."""
 
-    def __init__(self, local_repair: bool = False) -> None:
+    def __init__(self, local_repair: bool | str = False) -> None:
         super().__init__(
             SchulzeAggregator(), name="Fair-Schulze", local_repair=local_repair
         )

@@ -167,6 +167,52 @@ class _EntityStats:
         self.favored[group_v] += gap
         self._refresh()
 
+    def move_deltas(self, candidate: int, window: list[int], falling: bool) -> list[int]:
+        """Favored-count deltas of a block move of ``candidate`` past ``window``.
+
+        A block move re-orders exactly the pairs ``(candidate, other)`` for
+        the ``other`` candidates in the window; a falling candidate loses
+        every mixed pair among them to the other member's group (and a
+        rising candidate gains them back), so the delta vector is the
+        window's per-group membership histogram with the candidate's own
+        group holding minus the mixed-pair count.
+        """
+        membership = self.membership
+        counts = [0] * self.n_groups
+        for other in window:
+            counts[membership[other]] += 1
+        group = membership[candidate]
+        mixed = len(window) - counts[group]
+        counts[group] = -mixed
+        if not falling:
+            counts = [-count for count in counts]
+        return counts
+
+    def parity_after_deltas(self, deltas: list[int]) -> float:
+        """ARP after adding ``deltas`` to the per-group favored counts.
+
+        Same correctly-rounded divisions and first-occurrence max/min
+        reductions as :meth:`_refresh`, so the value is bit-identical to
+        rescoring the materialised moved ranking.
+        """
+        favored = self.favored
+        denominators = self.denominators
+        highest = lowest = (favored[0] + deltas[0]) / denominators[0]
+        for group in range(1, self.n_groups):
+            score = (favored[group] + deltas[group]) / denominators[group]
+            if score > highest:
+                highest = score
+            elif score < lowest:
+                lowest = score
+        return highest - lowest
+
+    def apply_deltas(self, deltas: list[int]) -> None:
+        """Commit per-group favored-count deltas and refresh the caches."""
+        favored = self.favored
+        for group, delta in enumerate(deltas):
+            favored[group] += delta
+        self._refresh()
+
 
 class FairnessState:
     """Mutable ranking state with incrementally maintained MANI-Rank statistics.
@@ -352,6 +398,26 @@ class FairnessState:
                 total += excess
         return total
 
+    def parity_after_move(self, candidate: int, new_position: int) -> dict[str, float]:
+        """Parity scores after a hypothetical block move of ``candidate``.
+
+        Bit-identical to materialising the moved ranking and rescoring it
+        with :func:`repro.fairness.parity.parity_scores`, but O(window +
+        Σ n_groups): only the pairs between the candidate and the shifted
+        block re-order, so each entity's favored counts change by the
+        block's per-group membership histogram (see
+        :meth:`_EntityStats.move_deltas`).  The companion of
+        :meth:`KemenyDeltaEngine.delta_move <repro.aggregation.incremental.KemenyDeltaEngine.delta_move>`
+        for the fairness-constrained insertion search.
+        """
+        window, falling = self._move_window(candidate, new_position)
+        return {
+            stats.name: stats.parity_after_deltas(
+                stats.move_deltas(candidate, window, falling)
+            )
+            for stats in self._stats
+        }
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -377,9 +443,49 @@ class FairnessState:
         positions[first] = position_second
         positions[second] = position_first
 
+    def apply_move(self, candidate: int, new_position: int) -> None:
+        """Move ``candidate`` to ``new_position`` and update every statistic.
+
+        O(window + Σ n_groups); a no-op when the candidate already sits at
+        the target position.
+        """
+        window, falling = self._move_window(candidate, new_position)
+        if not window:
+            return
+        for stats in self._stats:
+            stats.apply_deltas(stats.move_deltas(candidate, window, falling))
+        order = self._order_list
+        positions = self._positions_list
+        old_position = positions[candidate]
+        order.pop(old_position)
+        order.insert(new_position, candidate)
+        low = min(old_position, new_position)
+        high = max(old_position, new_position)
+        self._order[low : high + 1] = order[low : high + 1]
+        for position in range(low, high + 1):
+            moved = order[position]
+            positions[moved] = position
+            self._positions[moved] = position
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _move_window(self, candidate: int, new_position: int) -> tuple[list[int], bool]:
+        """The candidates a block move shifts past, and the move's direction.
+
+        Returns ``(window, falling)`` where ``falling`` is ``True`` when the
+        candidate moves towards the bottom; an in-place move yields an empty
+        window.
+        """
+        if not 0 <= new_position < self._n:
+            raise FairnessError(
+                f"move target {new_position} outside positions 0..{self._n - 1}"
+            )
+        old_position = self._positions_list[candidate]
+        if new_position > old_position:
+            return self._order_list[old_position + 1 : new_position + 1], True
+        return self._order_list[new_position:old_position], False
+
     def _oriented(self, first: int, second: int) -> tuple[int, int]:
         """Return ``(upper, lower)`` with ``upper`` the better-ranked candidate."""
         if self._positions_list[first] <= self._positions_list[second]:

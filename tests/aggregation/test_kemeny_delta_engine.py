@@ -126,6 +126,85 @@ class TestDeltaQueries:
         with pytest.raises(AggregationError):
             engine.delta_move(0, 6)
 
+    def test_move_deltas_matches_delta_move_for_every_target(self, tiny_rankings):
+        ranking = Ranking([2, 5, 0, 4, 1, 3])
+        engine = KemenyDeltaEngine(tiny_rankings, ranking)
+        for candidate in range(6):
+            deltas = engine.move_deltas(candidate)
+            assert deltas.shape == (6,)
+            for target in range(6):
+                # Bit-identical for unweighted sets (integer-valued floats).
+                assert deltas[target] == engine.delta_move(candidate, target)
+
+    def test_best_move_ties_break_towards_smallest_position(self, tiny_rankings):
+        engine = KemenyDeltaEngine(tiny_rankings, Ranking([2, 5, 0, 4, 1, 3]))
+        for candidate in range(6):
+            delta, target = engine.best_move(candidate)
+            deltas = engine.move_deltas(candidate)
+            assert delta == deltas.min()
+            assert target == int(np.flatnonzero(deltas == delta)[0])
+
+
+class TestMoveEdgeCases:
+    def test_no_op_move_is_free(self, tiny_rankings):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        engine = KemenyDeltaEngine(tiny_rankings, ranking)
+        for candidate in range(6):
+            position = engine.positions_list[candidate]
+            assert engine.delta_move(candidate, position) == 0.0
+            assert engine.apply_move(candidate, position) == 0.0
+        assert engine.to_ranking() == ranking
+        assert engine.objective == kemeny_objective(ranking, tiny_rankings)
+
+    @pytest.mark.parametrize("target", [0, 5])
+    def test_moves_to_both_ends(self, tiny_rankings, target):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        for candidate in range(6):
+            engine = KemenyDeltaEngine(tiny_rankings, ranking)
+            delta = engine.apply_move(candidate, target)
+            moved = engine.to_ranking()
+            assert moved.positions[candidate] == target
+            expected = ranking.to_list()
+            expected.remove(candidate)
+            expected.insert(target, candidate)
+            assert moved.to_list() == expected
+            assert engine.objective == kemeny_objective(moved, tiny_rankings)
+            assert delta == engine.objective - kemeny_objective(
+                ranking, tiny_rankings
+            )
+
+    def test_single_candidate_engine(self):
+        rankings = RankingSet.from_orders([[0]])
+        engine = KemenyDeltaEngine(rankings, Ranking([0]))
+        assert engine.objective == 0.0
+        assert engine.delta_move(0, 0) == 0.0
+        assert engine.apply_move(0, 0) == 0.0
+        assert engine.move_deltas(0).tolist() == [0.0]
+        assert engine.best_move(0) == (0.0, 0)
+        assert not engine.sweep_adjacent()
+        assert engine.to_ranking() == Ranking([0])
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_running_objective_exact_through_random_moves(self, seed):
+        """After *every* applied block move — not just at the end of the
+        sequence — the engine's running objective is bit-identical to
+        ``kemeny_objective`` recomputed from scratch on the materialised
+        ranking, and the applied delta equals the objective change."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 16))
+        rankings = _random_set(rng, n, int(rng.integers(1, 8)))
+        engine = KemenyDeltaEngine(rankings, Ranking.random(n, rng))
+        previous = engine.objective
+        for _ in range(20):
+            candidate = int(rng.integers(0, n))
+            target = int(rng.integers(0, n))
+            delta = engine.apply_move(candidate, target)
+            scratch = kemeny_objective(engine.to_ranking(), rankings)
+            assert engine.objective == scratch
+            assert engine.objective == previous + delta
+            previous = scratch
+
 
 class TestMoveSequences:
     @given(st.integers(min_value=0, max_value=2**32 - 1))

@@ -29,6 +29,7 @@ class TestRegistry:
             "table3",
             "table4",
             "table5",
+            "ablation-search",
         }
 
     def test_descriptions_available(self):
@@ -205,3 +206,53 @@ class TestCaseStudies:
         assert kemeny_row["Location"] > fair_row["Location"]
         assert fair_row["Location"] <= result.parameters["delta"] + 1e-6
         assert fair_row["IRP"] <= result.parameters["delta"] + 1e-6
+
+
+class TestAblationSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ablation_search
+
+        return ablation_search.run(scale="ci", theta=0.2)
+
+    def test_every_cell_reports_every_strategy_and_seed(self, result):
+        from repro.aggregation.search import available_strategies
+
+        expected = set(available_strategies())
+        cells: dict[tuple, set] = {}
+        for record in result.records:
+            key = (record["n_candidates"], record["n_rankings"], record["seed_ranking"])
+            cells.setdefault(key, set()).add(record["strategy"])
+        assert cells
+        assert {key[2] for key in cells} == {"borda", "cold"}
+        for strategies in cells.values():
+            assert strategies == expected
+
+    def test_insertion_never_worse_than_adjacent_per_cell(self, result):
+        for record in result.filtered(strategy="insertion"):
+            (adjacent,) = [
+                other
+                for other in result.filtered(strategy="adjacent-swap")
+                if all(
+                    other[axis] == record[axis]
+                    for axis in ("n_candidates", "n_rankings", "theta", "seed_ranking")
+                )
+            ]
+            assert record["objective"] <= adjacent["objective"]
+
+    def test_single_strategy_run_and_workers_match_serial(self):
+        from repro.experiments import ablation_search
+
+        serial = ablation_search.run(scale="ci", theta=0.6, strategies=("insertion",))
+        assert {record["strategy"] for record in serial.records} == {"insertion"}
+        parallel = ablation_search.run(
+            scale="ci", theta=0.6, strategies=("insertion",), n_workers=2
+        )
+        def strip(record):
+            return {
+                key: value
+                for key, value in record.items()
+                if key not in ("search_s", "datagen_s", "cell_s")
+            }
+
+        assert [strip(r) for r in serial.records] == [strip(r) for r in parallel.records]

@@ -133,6 +133,88 @@ class TestSwapQueries:
             )
 
 
+class TestMoveQueries:
+    @staticmethod
+    def _materialised_move(ranking: Ranking, candidate: int, target: int) -> Ranking:
+        order = ranking.to_list()
+        order.remove(candidate)
+        order.insert(target, candidate)
+        return Ranking(order)
+
+    def test_parity_after_move_matches_materialised_move(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        state = FairnessState(ranking, tiny_table)
+        for candidate in range(6):
+            for target in range(6):
+                moved = self._materialised_move(ranking, candidate, target)
+                assert state.parity_after_move(candidate, target) == parity_scores(
+                    moved, tiny_table
+                )
+
+    def test_move_query_does_not_mutate_state(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        state = FairnessState(ranking, tiny_table)
+        before = state.parity_scores()
+        state.parity_after_move(0, 5)
+        state.parity_after_move(5, 0)
+        assert state.parity_scores() == before
+        assert state.to_ranking() == ranking
+
+    def test_move_target_out_of_range_rejected(self, tiny_table):
+        state = FairnessState(Ranking.identity(6), tiny_table)
+        with pytest.raises(FairnessError):
+            state.parity_after_move(0, 6)
+        with pytest.raises(FairnessError):
+            state.apply_move(0, -1)
+
+    def test_no_op_move_leaves_state_unchanged(self, tiny_table):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        state = FairnessState(ranking, tiny_table)
+        for candidate in range(6):
+            position = ranking.positions[candidate]
+            assert state.parity_after_move(candidate, int(position)) == (
+                state.parity_scores()
+            )
+            state.apply_move(candidate, int(position))
+        assert state.to_ranking() == ranking
+        _assert_state_matches_scratch(state, tiny_table)
+
+    @pytest.mark.parametrize("target", [0, 5])
+    def test_moves_to_both_ends(self, tiny_table, target):
+        ranking = Ranking([0, 3, 5, 1, 2, 4])
+        for candidate in range(6):
+            state = FairnessState(ranking, tiny_table)
+            state.apply_move(candidate, target)
+            assert state.to_ranking() == self._materialised_move(
+                ranking, candidate, target
+            )
+            _assert_state_matches_scratch(state, tiny_table)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_move_sequence_stays_exact(self, seed):
+        """Every maintained statistic stays bit-identical to the from-scratch
+        evaluators through randomized block-move sequences (the contract the
+        fairness-constrained insertion repair relies on)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 25))
+        table = _random_table(rng, n, n_attributes=int(rng.integers(1, 4)))
+        state = FairnessState(Ranking.random(n, rng), table)
+        for _ in range(20):
+            state.apply_move(int(rng.integers(0, n)), int(rng.integers(0, n)))
+        _assert_state_matches_scratch(state, table)
+
+    def test_interleaved_swaps_and_moves_stay_exact(self, tiny_table, rng):
+        state = FairnessState(Ranking.random(6, rng), tiny_table)
+        for _ in range(15):
+            if rng.random() < 0.5:
+                first, second = rng.choice(6, size=2, replace=False)
+                state.apply_swap(int(first), int(second))
+            else:
+                state.apply_move(int(rng.integers(0, 6)), int(rng.integers(0, 6)))
+            _assert_state_matches_scratch(state, tiny_table)
+
+
 class TestSwapSequences:
     @given(st.integers(min_value=0, max_value=2**32 - 1))
     @settings(max_examples=40, deadline=None)

@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
 from repro.io.csv_io import write_candidate_table, write_ranking_set
+
+#: Tiny committed CSV fixture; the CI cli-smoke job aggregates the same files
+#: through the installed ``mani-rank`` entry point.
+FIXTURE_DIRECTORY = Path(__file__).resolve().parent.parent / "examples" / "data"
 
 
 class TestParser:
@@ -24,6 +29,17 @@ class TestParser:
         args = build_parser().parse_args(["aggregate", "r.csv", "c.csv"])
         assert args.method == "fair-borda"
         assert args.delta == 0.1
+        assert args.strategy is None
+
+    def test_aggregate_strategy_choices(self):
+        args = build_parser().parse_args(
+            ["aggregate", "r.csv", "c.csv", "--strategy", "insertion"]
+        )
+        assert args.strategy == "insertion"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["aggregate", "r.csv", "c.csv", "--strategy", "nope"]
+            )
 
 
 class TestCommands:
@@ -71,3 +87,60 @@ class TestCommands:
         assert "Fair-Borda" in output
         assert "PD loss" in output
         assert "IRP" in output
+
+    def test_aggregate_with_strategy(self, tmp_path, capsys, tiny_table, tiny_rankings):
+        candidates_csv = tmp_path / "candidates.csv"
+        rankings_csv = tmp_path / "rankings.csv"
+        write_candidate_table(tiny_table, candidates_csv)
+        write_ranking_set(tiny_rankings, tiny_table, rankings_csv)
+        exit_code = main(
+            [
+                "aggregate",
+                str(rankings_csv),
+                str(candidates_csv),
+                "--delta",
+                "0.35",
+                "--strategy",
+                "insertion",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Fair-Borda" in output
+        assert "PD loss" in output
+
+    @pytest.mark.parametrize("strategy", [None, "insertion"])
+    def test_aggregate_committed_fixture(self, capsys, strategy):
+        arguments = [
+            "aggregate",
+            str(FIXTURE_DIRECTORY / "rankings.csv"),
+            str(FIXTURE_DIRECTORY / "candidates.csv"),
+        ]
+        if strategy is not None:
+            arguments += ["--strategy", strategy]
+        assert main(arguments) == 0
+        output = capsys.readouterr().out
+        assert "Fair-Borda" in output
+        assert "PD loss" in output
+
+    def test_aggregate_strategy_requires_seeded_method(
+        self, tmp_path, tiny_table, tiny_rankings
+    ):
+        from repro.exceptions import AggregationError
+
+        candidates_csv = tmp_path / "candidates.csv"
+        rankings_csv = tmp_path / "rankings.csv"
+        write_candidate_table(tiny_table, candidates_csv)
+        write_ranking_set(tiny_rankings, tiny_table, rankings_csv)
+        with pytest.raises(AggregationError, match="seeded method"):
+            main(
+                [
+                    "aggregate",
+                    str(rankings_csv),
+                    str(candidates_csv),
+                    "--method",
+                    "pick-fairest-perm",
+                    "--strategy",
+                    "insertion",
+                ]
+            )
