@@ -15,7 +15,9 @@ Attribute and Intersectional Group Fairness for Consensus Ranking*
 * :mod:`repro.datagen` — Mallows sampling, fairness-controlled modal
   rankings, and the case-study datasets;
 * :mod:`repro.experiments` — one module per paper table/figure;
-* :mod:`repro.io` — CSV/JSON persistence.
+* :mod:`repro.io` — CSV/JSON persistence;
+* :mod:`repro.cache` — the content-addressed consensus cache and the
+  ``mani-rank serve`` HTTP front-end.
 
 Quickstart
 ----------
@@ -74,6 +76,13 @@ from repro.fair import (
     UnawareKemenyBaseline,
     get_fair_method,
     make_mr_fair,
+)
+from repro.cache import (
+    CacheStats,
+    ConsensusCacheService,
+    ResultCache,
+    cache_key,
+    compute_consensus_payload,
 )
 from repro.fairness import (
     FairnessTable,
@@ -135,6 +144,12 @@ __all__ = [
     "PickFairestPermBaseline",
     "CorrectFairestPermBaseline",
     "get_fair_method",
+    # consensus cache + serving
+    "CacheStats",
+    "ConsensusCacheService",
+    "ResultCache",
+    "cache_key",
+    "compute_consensus_payload",
     # exceptions
     "ReproError",
     "ValidationError",

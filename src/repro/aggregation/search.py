@@ -129,6 +129,7 @@ class AdjacentSwapStrategy(NeighborhoodStrategy):
     name = "adjacent-swap"
 
     def search(self, engine: KemenyDeltaEngine, max_passes: int = 50) -> SearchStats:
+        """Run carry-run adjacent sweeps until converged or out of budget."""
         n_passes = 0
         for _ in range(max_passes):
             if not engine.sweep_adjacent():
@@ -159,6 +160,7 @@ class InsertionStrategy(NeighborhoodStrategy):
     name = "insertion"
 
     def search(self, engine: KemenyDeltaEngine, max_passes: int = 50) -> SearchStats:
+        """Alternate adjacent descent and insertion passes on a shared budget."""
         n_passes = 0
         n_moves = 0
         while True:
@@ -190,6 +192,7 @@ class CombinedStrategy(NeighborhoodStrategy):
     name = "combined"
 
     def search(self, engine: KemenyDeltaEngine, max_passes: int = 50) -> SearchStats:
+        """Run insertion passes to convergence, then an adjacent-swap polish."""
         n_passes = 0
         n_moves = 0
         for _ in range(max_passes):

@@ -1,0 +1,54 @@
+"""Content-addressed consensus cache and the ``mani-rank serve`` front-end.
+
+Every ``aggregate``/fairness query used to recompute from scratch even though
+the Mallows-grid and case-study workloads replay identical (profile, method,
+strategy, Δ) queries constantly.  This package closes that gap with three
+layers:
+
+:mod:`repro.cache.fingerprint`
+    Content-addressed cache keys: SHA-256 fingerprints of the ranking-set
+    content (order-insensitive across construction orders), the candidate
+    table's group schema, and the normalised (method, strategy, Δ) triple.
+
+:mod:`repro.cache.store`
+    A memory LRU tier over an optional disk tier (JSON blobs written through
+    :mod:`repro.io.serialization`) with hit/miss/eviction/size counters
+    reported as a :class:`~repro.cache.store.CacheStats` snapshot.
+
+:mod:`repro.cache.service` / :mod:`repro.cache.http`
+    :class:`~repro.cache.service.ConsensusCacheService` computes or replays
+    full consensus payloads through the aggregation registry (every
+    registered method is servable), and the asyncio HTTP front-end exposes
+    it as ``mani-rank serve`` with ``/aggregate``, ``/fairness`` and
+    ``/stats`` endpoints.
+
+Cached results are bit-identical to cold computation — enforced by
+``benchmarks/test_perf_cache.py``, which also commits hit-rate and
+latency-percentile baselines under a Zipf query popularity distribution.
+"""
+
+from __future__ import annotations
+
+from repro.cache.fingerprint import (
+    CacheKey,
+    cache_key,
+    fingerprint_candidate_table,
+    fingerprint_ranking_set,
+)
+from repro.cache.http import ConsensusHTTPServer, run_server
+from repro.cache.service import ConsensusCacheService, compute_consensus_payload
+from repro.cache.store import CacheStats, DiskTier, ResultCache
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "ConsensusCacheService",
+    "ConsensusHTTPServer",
+    "DiskTier",
+    "ResultCache",
+    "cache_key",
+    "compute_consensus_payload",
+    "fingerprint_candidate_table",
+    "fingerprint_ranking_set",
+    "run_server",
+]

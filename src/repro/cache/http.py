@@ -1,0 +1,303 @@
+"""Asyncio HTTP front-end for the consensus cache (``mani-rank serve``).
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` — no
+``http.server``, no third-party framework — exposing three JSON endpoints:
+
+``POST /aggregate``
+    Body: ``{"rankings": ..., "candidates": ..., "method", "strategy",
+    "delta"}`` with the inputs either inline (the
+    :mod:`repro.io.serialization` dictionaries) or as CSV paths
+    (``rankings_csv``/``candidates_csv``, resolved server-side).  Responds
+    with the full cached-or-computed consensus payload plus the cache key
+    digest and a ``cached`` flag.
+
+``POST /fairness``
+    Same body; responds with the fairness projection of the same cache entry
+    (per-group FPR row, parity scores, PD loss), so a ``/fairness`` call
+    after ``/aggregate`` for the same query is a cache hit.
+
+``GET /stats``
+    Cache counters (hits/misses/evictions/sizes), server request counters,
+    and the servable method registry.
+
+Cache misses are computed on a worker thread (``run_in_executor``) so slow
+aggregations do not stall other connections; the
+:class:`~repro.cache.store.ResultCache` lock keeps the tiers consistent.
+Responses always carry ``Content-Length`` and ``Connection: close``.
+Shutdown is cooperative: SIGINT/SIGTERM (installed by :func:`run_server` when
+on the main thread) or an optional ``max_requests`` budget — used by the CI
+serve smoke — stop the listener and let :meth:`ConsensusHTTPServer.serve`
+return cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import signal
+from collections.abc import Callable
+
+from repro.cache.service import ConsensusCacheService
+from repro.exceptions import ReproError
+from repro.fair.registry import describe_fair_methods
+from repro.io.csv_io import read_candidate_table, read_ranking_set
+from repro.io.serialization import (
+    candidate_table_from_dict,
+    ranking_set_from_dict,
+    to_jsonable,
+)
+
+__all__ = ["ConsensusHTTPServer", "run_server"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """Client error carrying the message served as a 400 response."""
+
+
+def _parse_inputs(body: dict):
+    """Build the (rankings, table) pair from an endpoint request body."""
+    if "candidates_csv" in body or "rankings_csv" in body:
+        try:
+            table = read_candidate_table(body["candidates_csv"])
+            rankings = read_ranking_set(body["rankings_csv"], table)
+        except KeyError as exc:
+            raise _BadRequest(
+                "CSV inputs need both 'rankings_csv' and 'candidates_csv'"
+            ) from exc
+        except OSError as exc:
+            raise _BadRequest(f"cannot read CSV input: {exc}") from exc
+        return rankings, table
+    try:
+        table = candidate_table_from_dict(body["candidates"])
+        rankings = ranking_set_from_dict(body["rankings"])
+    except KeyError as exc:
+        raise _BadRequest(
+            "request body needs 'rankings' and 'candidates' (inline payloads) "
+            "or 'rankings_csv' and 'candidates_csv' (server-side paths)"
+        ) from exc
+    return rankings, table
+
+
+class ConsensusHTTPServer:
+    """The ``mani-rank serve`` listener bound to one consensus cache service.
+
+    Parameters
+    ----------
+    service:
+        The cache-backed service answering the queries.
+    host, port:
+        Bind address; port 0 asks the OS for a free port (the bound address
+        is available as :attr:`address` after :meth:`start`).
+    max_requests:
+        Optional request budget; after responding to this many requests the
+        server initiates shutdown.  Used by smoke tests for a clean,
+        signal-free exit.
+    """
+
+    def __init__(
+        self,
+        service: ConsensusCacheService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8340,
+        max_requests: int | None = None,
+    ) -> None:
+        """See the class docstring for the parameter contract."""
+        self.service = service if service is not None else ConsensusCacheService()
+        self._host = host
+        self._port = port
+        self._max_requests = max_requests
+        self._requests = 0
+        self._endpoint_counts: dict[str, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener and return the (host, port) actually bound."""
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit (idempotent, callable from handlers)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve(self) -> None:
+        """Run until :meth:`request_stop` (or the request budget) fires."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None and self._stop_event is not None
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - a handler crash must not kill the server
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        body = json.dumps(to_jsonable(payload)).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover - client hangup
+            pass
+        self._requests += 1
+        if self._max_requests is not None and self._requests >= self._max_requests:
+            self.request_stop()
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        verb, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        content_length = int(headers.get("content-length", "0") or "0")
+        if content_length > _MAX_BODY_BYTES:
+            return 413, {"error": "request body too large"}
+        raw_body = await reader.readexactly(content_length) if content_length else b""
+
+        route = _ROUTES.get(path)
+        if route is None:
+            return 404, {"error": f"unknown path {path!r}", "paths": sorted(_ROUTES)}
+        expected_verb, handler = route
+        if verb != expected_verb:
+            return 405, {"error": f"{path} expects {expected_verb}, got {verb}"}
+
+        self._endpoint_counts[path] = self._endpoint_counts.get(path, 0) + 1
+        try:
+            body = json.loads(raw_body) if raw_body else {}
+            if not isinstance(body, dict):
+                raise _BadRequest("request body must be a JSON object")
+            return 200, await handler(self, body)
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"request body is not valid JSON: {exc}"}
+        except (_BadRequest, ReproError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+
+    async def _run_query(self, body: dict) -> dict:
+        """Resolve inputs and run the cached aggregation off the event loop."""
+        rankings, table = _parse_inputs(body)
+        query = functools.partial(
+            self.service.aggregate,
+            rankings,
+            table,
+            method=str(body.get("method", "fair-borda")),
+            strategy=body.get("strategy"),
+            delta=body.get("delta", 0.1),
+        )
+        return await asyncio.get_running_loop().run_in_executor(None, query)
+
+    async def _handle_aggregate(self, body: dict) -> dict:
+        return await self._run_query(body)
+
+    async def _handle_fairness(self, body: dict) -> dict:
+        response = await self._run_query(body)
+        result = response["result"]
+        return {
+            "key": response["key"],
+            "cached": response["cached"],
+            "method": result["method"],
+            "method_label": result["method_label"],
+            "pd_loss": result["pd_loss"],
+            "parity": result["parity"],
+            "fairness": result["fairness"],
+        }
+
+    async def _handle_stats(self, body: dict) -> dict:
+        return {
+            "cache": self.service.stats(),
+            "server": {
+                "requests": self._requests,
+                "endpoints": dict(sorted(self._endpoint_counts.items())),
+            },
+            "methods": describe_fair_methods(),
+        }
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+_ROUTES: dict[str, tuple[str, Callable]] = {
+    "/aggregate": ("POST", ConsensusHTTPServer._handle_aggregate),
+    "/fairness": ("POST", ConsensusHTTPServer._handle_fairness),
+    "/stats": ("GET", ConsensusHTTPServer._handle_stats),
+}
+
+
+def run_server(
+    service: ConsensusCacheService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8340,
+    max_requests: int | None = None,
+    on_ready: Callable[[tuple[str, int]], None] | None = None,
+) -> int:
+    """Blocking entry point behind ``mani-rank serve``.
+
+    Binds, reports the bound address through ``on_ready`` (the CLI prints it;
+    tests use it to launch client threads), installs SIGINT/SIGTERM handlers
+    when running on the main thread, and serves until stopped.  Returns the
+    process exit code (0 on clean shutdown).
+    """
+
+    async def _main() -> None:
+        server = ConsensusHTTPServer(
+            service, host=host, port=port, max_requests=max_requests
+        )
+        address = await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGINT, server.request_stop)
+            loop.add_signal_handler(signal.SIGTERM, server.request_stop)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-main thread
+            pass
+        if on_ready is not None:
+            on_ready(address)
+        await server.serve()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race fallback
+        pass
+    return 0

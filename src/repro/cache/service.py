@@ -1,0 +1,149 @@
+"""Cached consensus computation wired through the aggregation registry.
+
+:func:`compute_consensus_payload` is the single compute path: it resolves any
+registered method (``fair-borda``, ``fair-borda-insertion``, paper labels
+A1–B4, ...), optionally appends a local-repair strategy, and assembles the
+full JSON-safe response — consensus order and names, PD loss, parity scores,
+the paper-style fairness row, and the method diagnostics.  The CLI
+``aggregate`` command and the HTTP endpoints both print/serve projections of
+this one payload, so cached and cold responses can be compared bit-for-bit.
+
+:class:`ConsensusCacheService` wraps the compute path with the
+content-addressed :class:`~repro.cache.store.ResultCache`: equal queries
+(under the invariances of :mod:`repro.cache.fingerprint`) are served from
+cache, and every response carries its key digest plus a ``cached`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.cache.fingerprint import cache_key
+from repro.cache.store import ResultCache
+from repro.core.candidates import CandidateTable
+from repro.core.ranking_set import RankingSet
+from repro.exceptions import AggregationError
+from repro.fair.registry import canonical_fair_method_name, get_fair_method
+from repro.fair.seeded import SeededFairAggregator
+from repro.fairness.parity import parity_scores
+from repro.fairness.pd_loss import pd_loss
+from repro.fairness.report import fairness_row
+from repro.fairness.thresholds import FairnessThresholds
+from repro.io.serialization import canonical_json
+
+__all__ = ["ConsensusCacheService", "compute_consensus_payload", "resolve_method"]
+
+
+def resolve_method(method: str, strategy: str | None = None):
+    """Instantiate a registered method, optionally with a local-repair strategy.
+
+    Mirrors the CLI contract: ``strategy`` requires a seeded method (the
+    baselines and Fair-Kemeny do not run the local-search repair).
+    """
+    aggregator = get_fair_method(method)
+    if strategy is not None:
+        if not isinstance(aggregator, SeededFairAggregator):
+            raise AggregationError(
+                f"a local-repair strategy requires a seeded method (Fair-Borda, "
+                f"Fair-Copeland, ...); {aggregator.name!r} does not run the "
+                "local-search repair"
+            )
+        aggregator = aggregator.with_local_repair(strategy)
+    return aggregator
+
+
+def compute_consensus_payload(
+    rankings: RankingSet,
+    table: CandidateTable,
+    method: str = "fair-borda",
+    strategy: str | None = None,
+    delta: FairnessThresholds | float | Mapping[str, float] = 0.1,
+) -> dict:
+    """Compute one consensus query end-to-end and return the JSON-safe payload.
+
+    The payload is normalised through a canonical-JSON round trip before it is
+    returned, so a freshly computed payload, its memory-cached copy, and its
+    disk-round-tripped copy compare equal with ``==`` — the bit-identity
+    contract the cache benchmarks assert.
+    """
+    thresholds = FairnessThresholds.coerce(delta)
+    aggregator = resolve_method(method, strategy)
+    result = aggregator.aggregate_with_diagnostics(rankings, table, thresholds)
+    consensus = result.ranking
+    payload = {
+        "method": canonical_fair_method_name(method),
+        "method_label": aggregator.name,
+        "strategy": strategy,
+        "delta": {
+            "default": thresholds.default,
+            "per_entity": thresholds.per_entity,
+        },
+        "consensus": {
+            "order": consensus.to_list(),
+            "names": [table.name_of(candidate) for candidate in consensus],
+        },
+        "unaware_order": (
+            result.unaware_ranking.to_list() if result.unaware_ranking else None
+        ),
+        "pd_loss": pd_loss(rankings, consensus),
+        "parity": parity_scores(consensus, table),
+        "fairness": fairness_row(consensus, table),
+        "diagnostics": result.diagnostics,
+    }
+    return json.loads(canonical_json(payload))
+
+
+class ConsensusCacheService:
+    """Content-addressed consensus serving: compute once, replay from cache.
+
+    Parameters
+    ----------
+    cache:
+        The two-tier result store; defaults to a memory-only LRU so the
+        service works without any configuration.
+    """
+
+    def __init__(self, cache: ResultCache | None = None) -> None:
+        """See the class docstring for the parameter contract."""
+        self._cache = cache if cache is not None else ResultCache()
+
+    @property
+    def cache(self) -> ResultCache:
+        """The underlying result cache."""
+        return self._cache
+
+    def aggregate(
+        self,
+        rankings: RankingSet,
+        table: CandidateTable,
+        method: str = "fair-borda",
+        strategy: str | None = None,
+        delta: FairnessThresholds | float | Mapping[str, float] = 0.1,
+    ) -> dict:
+        """Serve one consensus query, computing it only on a cache miss.
+
+        Returns ``{"key": <digest>, "cached": <bool>, "result": <payload>}``
+        where ``result`` is exactly the :func:`compute_consensus_payload`
+        value — byte-identical whether it was computed now or replayed.
+        """
+        key = cache_key(rankings, table, method=method, strategy=strategy, delta=delta)
+        digest = key.digest
+        payload = self._cache.get(digest)
+        if payload is not None:
+            return {"key": digest, "cached": True, "result": payload}
+        # The strategy is canonicalised inside the key; compute with the same
+        # normalised name so equivalent spellings produce identical payloads.
+        payload = compute_consensus_payload(
+            rankings,
+            table,
+            method=key.method,
+            strategy=key.strategy,
+            delta=delta,
+        )
+        self._cache.put(digest, payload)
+        return {"key": digest, "cached": False, "result": payload}
+
+    def stats(self) -> dict:
+        """JSON-safe snapshot of the cache counters."""
+        return self._cache.stats().to_dict()

@@ -1,0 +1,231 @@
+"""Two-tier result store: memory LRU over an optional disk tier.
+
+The memory tier is a capacity-bounded LRU (an :class:`~collections.OrderedDict`
+keyed by content digest); the disk tier persists every stored payload as one
+JSON blob per digest, written atomically (temp file + :func:`os.replace`) so a
+crash mid-write never leaves a truncated blob under the final name.  Reads
+fall through memory → disk; a disk hit is promoted back into memory.
+
+Failure containment: a corrupted disk blob (truncated file, invalid JSON,
+non-object payload) is treated as a miss — the blob is deleted, a
+``disk_corruptions`` counter is bumped, and the caller recomputes.  The cache
+never raises on bad persisted state.
+
+All operations are guarded by one lock so the HTTP front-end can compute
+cache misses on executor threads; counters are reported as an immutable
+:class:`CacheStats` snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.io.serialization import canonical_json
+
+__all__ = ["CacheStats", "DiskTier", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of the cache counters.
+
+    ``hits`` always equals ``memory_hits + disk_hits``; ``disk_corruptions``
+    counts blobs that were discarded as unreadable (each also counted as a
+    miss).  ``memory_entries``/``disk_entries``/``disk_bytes`` are the current
+    sizes, not lifetime counters.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    disk_corruptions: int = 0
+    memory_entries: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when no lookups yet)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe view including the derived ``requests``/``hit_rate``."""
+        payload: dict[str, object] = asdict(self)
+        payload["requests"] = self.requests
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+
+class DiskTier:
+    """One-JSON-blob-per-digest persistent tier under ``directory``.
+
+    Blobs are canonical JSON objects named ``<digest>.json``.  Loading a blob
+    that is missing returns ``None``; loading one that is unreadable deletes
+    it and returns ``None`` while reporting the corruption to the caller.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        """Create (if needed) and bind the blob directory."""
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._corruptions = 0
+
+    @property
+    def directory(self) -> Path:
+        """The blob directory."""
+        return self._directory
+
+    def path_for(self, digest: str) -> Path:
+        """Blob path of ``digest``."""
+        return self._directory / f"{digest}.json"
+
+    def load(self, digest: str) -> dict | None:
+        """Return the stored payload, or ``None`` on a miss.
+
+        Returns
+        -------
+        The payload dictionary, or ``None`` when the blob is missing or was
+        discarded as corrupt (distinguish via the return of :meth:`discarded`
+        — :class:`ResultCache` tracks the counter).
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if not isinstance(payload, dict):
+            # Truncated or otherwise mangled blob: drop it so the slot heals
+            # on the next store, and let the caller recompute.
+            path.unlink(missing_ok=True)
+            self._corruptions += 1
+            return None
+        return payload
+
+    def pop_corruptions(self) -> int:
+        """Return and reset the number of blobs discarded since the last call."""
+        count = self._corruptions
+        self._corruptions = 0
+        return count
+
+    def store(self, digest: str, payload: dict) -> None:
+        """Atomically persist ``payload`` as the blob for ``digest``."""
+        path = self.path_for(digest)
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(canonical_json(payload) + "\n")
+        os.replace(temporary, path)
+
+    def entry_count(self) -> int:
+        """Number of blobs currently on disk."""
+        return sum(1 for _ in self._directory.glob("*.json"))
+
+    def total_bytes(self) -> int:
+        """Total size in bytes of the blobs currently on disk."""
+        return sum(path.stat().st_size for path in self._directory.glob("*.json"))
+
+
+class ResultCache:
+    """Memory-LRU-over-disk result cache keyed by content digest.
+
+    Parameters
+    ----------
+    memory_capacity:
+        Maximum number of payloads held in memory; the least recently used
+        entry is evicted (counted in :class:`CacheStats.evictions`) when a
+        store or a disk promotion exceeds it.  ``None`` disables the bound.
+    directory:
+        Optional disk-tier directory.  When set, every stored payload is also
+        persisted, memory evictions remain servable from disk, and the cache
+        survives process restarts.
+    """
+
+    def __init__(
+        self,
+        memory_capacity: int | None = 256,
+        directory: str | Path | None = None,
+    ) -> None:
+        """See the class docstring for the parameter contract."""
+        if memory_capacity is not None and memory_capacity < 1:
+            raise ValueError("memory_capacity must be at least 1 (or None)")
+        self._capacity = memory_capacity
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._disk = DiskTier(directory) if directory is not None else None
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._evictions = 0
+        self._disk_corruptions = 0
+
+    @property
+    def disk(self) -> DiskTier | None:
+        """The disk tier, or ``None`` when the cache is memory-only."""
+        return self._disk
+
+    def _admit(self, digest: str, payload: dict) -> None:
+        """Insert into the memory tier, evicting the LRU entry past capacity."""
+        self._memory[digest] = payload
+        self._memory.move_to_end(digest)
+        if self._capacity is not None:
+            while len(self._memory) > self._capacity:
+                self._memory.popitem(last=False)
+                self._evictions += 1
+
+    def get(self, digest: str) -> dict | None:
+        """Return the cached payload for ``digest``, or ``None`` on a miss."""
+        with self._lock:
+            if digest in self._memory:
+                self._memory.move_to_end(digest)
+                self._hits += 1
+                self._memory_hits += 1
+                return self._memory[digest]
+            if self._disk is not None:
+                payload = self._disk.load(digest)
+                self._disk_corruptions += self._disk.pop_corruptions()
+                if payload is not None:
+                    self._hits += 1
+                    self._disk_hits += 1
+                    self._admit(digest, payload)
+                    return payload
+            self._misses += 1
+            return None
+
+    def put(self, digest: str, payload: dict) -> None:
+        """Store ``payload`` under ``digest`` in both tiers."""
+        with self._lock:
+            self._admit(digest, payload)
+            if self._disk is not None:
+                self._disk.store(digest, payload)
+
+    def stats(self) -> CacheStats:
+        """Return an immutable snapshot of the counters and current sizes."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                memory_hits=self._memory_hits,
+                disk_hits=self._disk_hits,
+                evictions=self._evictions,
+                disk_corruptions=self._disk_corruptions,
+                memory_entries=len(self._memory),
+                disk_entries=self._disk.entry_count() if self._disk else 0,
+                disk_bytes=self._disk.total_bytes() if self._disk else 0,
+            )

@@ -8,6 +8,7 @@ Usage::
     mani-rank run figure5 --output out.json --quiet
     mani-rank aggregate rankings.csv candidates.csv --method fair-borda --delta 0.1
     mani-rank aggregate rankings.csv candidates.csv --strategy insertion
+    mani-rank serve --port 8340 --cache-dir ~/.cache/mani-rank
 
 The ``aggregate`` subcommand runs a fair consensus method on user-supplied CSV
 files (formats documented in :mod:`repro.io.csv_io`).  ``--strategy`` appends
@@ -18,6 +19,12 @@ additionally applies fairness-filtered block moves (never recovering less
 objective than ``adjacent-swap``), and ``combined`` explores block moves
 first and polishes with adjacent swaps — see
 :mod:`repro.aggregation.search` and :mod:`repro.fair.local_repair`.
+
+``serve`` starts the asyncio HTTP front-end over the content-addressed
+consensus cache (:mod:`repro.cache`): ``/aggregate`` and ``/fairness`` answer
+repeated queries from a memory-LRU-over-disk cache, ``/stats`` reports the
+hit/miss/eviction counters.  ``aggregate --cache-dir`` reuses the same disk
+tier across CLI invocations.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -27,12 +34,8 @@ import sys
 from collections.abc import Sequence
 
 from repro.aggregation.search import available_strategies
-from repro.exceptions import AggregationError
 from repro.experiments import available_experiments, run_experiment
-from repro.fair.registry import available_fair_methods, get_fair_method
-from repro.fair.seeded import SeededFairAggregator
-from repro.fairness.parity import parity_scores
-from repro.fairness.pd_loss import pd_loss
+from repro.fair.registry import describe_fair_methods
 from repro.io.csv_io import read_candidate_table, read_ranking_set
 
 __all__ = ["main", "build_parser"]
@@ -84,6 +87,39 @@ def build_parser() -> argparse.ArgumentParser:
             "local-search repair using this neighbourhood strategy"
         ),
     )
+    aggregate_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "reuse the consensus disk cache at this directory: repeated "
+            "queries replay the stored result instead of recomputing"
+        ),
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve cached consensus queries over HTTP (see docs/serving.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8340, help="bind port (0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist cached results as JSON blobs under this directory",
+    )
+    serve_parser.add_argument(
+        "--memory-capacity",
+        type=int,
+        default=256,
+        help="max results held in the memory LRU tier (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="shut down cleanly after this many requests (smoke testing)",
+    )
     return parser
 
 
@@ -93,8 +129,8 @@ def _command_list() -> int:
         print(f"  {name:<10} {description}")
     print()
     print("Fair consensus methods (mani-rank aggregate --method <name>):")
-    for name in available_fair_methods():
-        print(f"  {name}")
+    for name, label in describe_fair_methods().items():
+        print(f"  {name:<22} {label}")
     return 0
 
 
@@ -112,29 +148,58 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_aggregate(args: argparse.Namespace) -> int:
+    from repro.cache.service import ConsensusCacheService, compute_consensus_payload
+    from repro.cache.store import ResultCache
+    from repro.core.candidates import CandidateTable
+
     table = read_candidate_table(args.candidates_csv)
     rankings = read_ranking_set(args.rankings_csv, table)
-    method = get_fair_method(args.method)
-    if args.strategy is not None:
-        if not isinstance(method, SeededFairAggregator):
-            raise AggregationError(
-                f"--strategy requires a seeded method (Fair-Borda, "
-                f"Fair-Copeland, ...); {method.name!r} does not run the "
-                "local-search repair"
-            )
-        method = method.with_local_repair(args.strategy)
-    result = method.aggregate_with_diagnostics(rankings, table, args.delta)
-    consensus = result.ranking
-    print(f"method: {method.name}   delta: {args.delta}")
-    if "repair_strategy" in result.diagnostics:
-        print(f"local repair: {result.diagnostics['repair_strategy']}")
+    if args.cache_dir is not None:
+        service = ConsensusCacheService(ResultCache(directory=args.cache_dir))
+        response = service.aggregate(
+            rankings, table, method=args.method, strategy=args.strategy, delta=args.delta
+        )
+        payload = response["result"]
+    else:
+        response = None
+        payload = compute_consensus_payload(
+            rankings, table, method=args.method, strategy=args.strategy, delta=args.delta
+        )
+    print(f"method: {payload['method_label']}   delta: {args.delta}")
+    if response is not None:
+        state = "hit" if response["cached"] else "miss"
+        print(f"cache: {state} ({response['key'][:12]}, {args.cache_dir})")
+    if "repair_strategy" in payload["diagnostics"]:
+        print(f"local repair: {payload['diagnostics']['repair_strategy']}")
     print("consensus (best to worst):")
-    print("  " + ", ".join(table.name_of(candidate) for candidate in consensus))
-    print(f"PD loss: {pd_loss(rankings, consensus):.4f}")
-    for entity, score in parity_scores(consensus, table).items():
-        label = "IRP" if entity == table.INTERSECTION else f"ARP {entity}"
+    print("  " + ", ".join(payload["consensus"]["names"]))
+    print(f"PD loss: {payload['pd_loss']:.4f}")
+    for entity, score in payload["parity"].items():
+        label = "IRP" if entity == CandidateTable.INTERSECTION else f"ARP {entity}"
         print(f"{label}: {score:.4f}")
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.cache.http import run_server
+    from repro.cache.service import ConsensusCacheService
+    from repro.cache.store import ResultCache
+
+    cache = ResultCache(
+        memory_capacity=args.memory_capacity, directory=args.cache_dir
+    )
+
+    def _announce(address: tuple[str, int]) -> None:
+        host, port = address
+        print(f"serving on http://{host}:{port}", flush=True)
+
+    return run_server(
+        ConsensusCacheService(cache),
+        host=args.host,
+        port=args.port,
+        max_requests=args.max_requests,
+        on_ready=_announce,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -147,6 +212,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "aggregate":
         return _command_aggregate(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

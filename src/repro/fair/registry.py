@@ -30,6 +30,8 @@ from repro.fair.seeded import (
 __all__ = [
     "PAPER_LABELS",
     "available_fair_methods",
+    "canonical_fair_method_name",
+    "describe_fair_methods",
     "get_fair_method",
     "proposed_methods",
     "baseline_methods",
@@ -96,15 +98,35 @@ def _normalise(name: str) -> str:
     return key.lower()
 
 
-def get_fair_method(name: str) -> FairRankAggregator:
-    """Instantiate an MFCR method or baseline by name or paper label (A1–B4)."""
+def canonical_fair_method_name(name: str) -> str:
+    """Return the registry key a method name or paper label resolves to.
+
+    ``"A3"``, ``"Fair-Borda"`` and ``"fair-borda"`` all canonicalise to
+    ``"fair-borda"``.  The consensus cache keys every result by this
+    canonical name so equivalent spellings share one cache entry.
+    """
     key = _normalise(name)
     if key not in _FACTORIES:
         raise AggregationError(
             f"unknown fair consensus method {name!r}; available: "
             f"{', '.join(sorted(_FACTORIES))} or labels {', '.join(PAPER_LABELS)}"
         )
-    return _FACTORIES[key]()
+    return key
+
+
+def get_fair_method(name: str) -> FairRankAggregator:
+    """Instantiate an MFCR method or baseline by name or paper label (A1–B4)."""
+    return _FACTORIES[canonical_fair_method_name(name)]()
+
+
+def describe_fair_methods() -> dict[str, str]:
+    """Map every registry name to the display label its method reports.
+
+    Used by ``mani-rank list``, the ``/stats`` endpoint of ``mani-rank
+    serve``, and the README method-table check in ``docs/check_docs.py`` —
+    the table must mention every name returned here.
+    """
+    return {name: factory().name for name, factory in _FACTORIES.items()}
 
 
 def proposed_methods() -> dict[str, FairRankAggregator]:

@@ -21,6 +21,7 @@ from repro.exceptions import ValidationError
 
 __all__ = [
     "to_jsonable",
+    "canonical_json",
     "ranking_to_dict",
     "ranking_from_dict",
     "ranking_set_to_dict",
@@ -47,6 +48,25 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [to_jsonable(item) for item in value]
     return value
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise ``value`` to a canonical JSON string (sorted keys, no spaces).
+
+    Two structurally equal values always produce the identical string, so the
+    output can be hashed — this is the byte representation behind the
+    content-addressed cache keys in :mod:`repro.cache.fingerprint` — or
+    compared for the bit-identity assertions the cache benchmarks make.
+    ``allow_nan=False`` keeps every blob strict JSON: a NaN would survive
+    :func:`json.dumps` but break round-trip equality, so it is rejected at
+    write time instead of corrupting the cache.
+    """
+    return json.dumps(
+        to_jsonable(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
 
 
 def ranking_to_dict(ranking: Ranking) -> dict[str, Any]:

@@ -1,0 +1,138 @@
+"""Tests for the cached consensus service (compute path + cache semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.service import (
+    ConsensusCacheService,
+    compute_consensus_payload,
+    resolve_method,
+)
+from repro.cache.store import ResultCache
+from repro.core.ranking import Ranking
+from repro.exceptions import AggregationError
+from repro.fair.seeded import SeededFairAggregator
+from repro.fairness.parity import parity_scores
+from repro.fairness.pd_loss import pd_loss
+
+DELTA = 0.35
+
+
+class TestComputePayload:
+    def test_payload_matches_direct_computation(self, tiny_table, tiny_rankings):
+        payload = compute_consensus_payload(
+            tiny_rankings, tiny_table, method="fair-borda", delta=DELTA
+        )
+        consensus = Ranking(payload["consensus"]["order"])
+        assert payload["method"] == "fair-borda"
+        assert payload["method_label"] == "Fair-Borda"
+        assert payload["pd_loss"] == pd_loss(tiny_rankings, consensus)
+        assert payload["parity"] == parity_scores(consensus, tiny_table)
+        assert payload["consensus"]["names"] == [
+            tiny_table.name_of(c) for c in consensus
+        ]
+        assert payload["delta"] == {"default": DELTA, "per_entity": {}}
+
+    def test_payload_is_json_normalised(self, tiny_table, tiny_rankings):
+        import json
+
+        payload = compute_consensus_payload(tiny_rankings, tiny_table, delta=DELTA)
+        assert payload == json.loads(json.dumps(payload))
+
+    def test_strategy_reaches_diagnostics(self, tiny_table, tiny_rankings):
+        payload = compute_consensus_payload(
+            tiny_rankings, tiny_table, strategy="insertion", delta=DELTA
+        )
+        assert payload["strategy"] == "insertion"
+        assert payload["diagnostics"]["repair_strategy"] == "insertion"
+
+    def test_resolve_method_rejects_strategy_on_baselines(self):
+        with pytest.raises(AggregationError, match="seeded method"):
+            resolve_method("pick-fairest-perm", strategy="insertion")
+        assert isinstance(
+            resolve_method("fair-borda", strategy="insertion"), SeededFairAggregator
+        )
+
+    def test_every_registered_method_is_servable(self, tiny_table, tiny_rankings):
+        """The service accepts every registry name, including the repairs."""
+        from repro.fair.registry import available_fair_methods
+
+        for method in available_fair_methods():
+            payload = compute_consensus_payload(
+                tiny_rankings, tiny_table, method=method, delta=DELTA
+            )
+            assert payload["method"] == method
+            assert len(payload["consensus"]["order"]) == tiny_table.n_candidates
+
+
+class TestServiceCaching:
+    def test_miss_then_hit_is_bit_identical(self, tiny_table, tiny_rankings):
+        service = ConsensusCacheService()
+        first = service.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        second = service.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        cold = compute_consensus_payload(tiny_rankings, tiny_table, delta=DELTA)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert first["key"] == second["key"]
+        assert first["result"] == second["result"] == cold
+
+    def test_equivalent_spellings_share_one_entry(self, tiny_table, tiny_rankings):
+        service = ConsensusCacheService()
+        by_label = service.aggregate(tiny_rankings, tiny_table, method="A3", delta=DELTA)
+        by_name = service.aggregate(
+            tiny_rankings, tiny_table, method="fair-borda", delta=DELTA
+        )
+        assert by_label["key"] == by_name["key"]
+        assert by_name["cached"] is True
+        assert by_label["result"] == by_name["result"]
+
+    def test_distinct_queries_do_not_collide(self, tiny_table, tiny_rankings):
+        service = ConsensusCacheService()
+        plain = service.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        repaired = service.aggregate(
+            tiny_rankings, tiny_table, strategy="insertion", delta=DELTA
+        )
+        assert plain["key"] != repaired["key"]
+        assert repaired["cached"] is False
+        assert service.stats()["misses"] == 2
+
+    def test_disk_round_trip_is_bit_identical(self, tmp_path, tiny_table, tiny_rankings):
+        warm = ConsensusCacheService(ResultCache(directory=tmp_path))
+        cold_response = warm.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        # A fresh process with an empty memory tier replays from disk.
+        reopened = ConsensusCacheService(ResultCache(directory=tmp_path))
+        replayed = reopened.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        assert replayed["cached"] is True
+        assert replayed["result"] == cold_response["result"]
+        assert reopened.stats()["disk_hits"] == 1
+
+    def test_corrupted_blob_recomputes_identically(
+        self, tmp_path, tiny_table, tiny_rankings
+    ):
+        service = ConsensusCacheService(ResultCache(directory=tmp_path))
+        original = service.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        blob = tmp_path / f"{original['key']}.json"
+        blob.write_text(blob.read_text()[:20])  # truncate the persisted payload
+        reopened = ConsensusCacheService(ResultCache(directory=tmp_path))
+        recomputed = reopened.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        assert recomputed["cached"] is False  # corruption degraded to a miss
+        assert recomputed["result"] == original["result"]
+        stats = reopened.stats()
+        assert stats["disk_corruptions"] == 1
+        # The recompute healed the blob: the next service instance hits disk.
+        healed = ConsensusCacheService(ResultCache(directory=tmp_path))
+        assert healed.aggregate(tiny_rankings, tiny_table, delta=DELTA)["cached"] is True
+
+    def test_stats_counter_accuracy(self, tiny_table, tiny_rankings):
+        service = ConsensusCacheService(ResultCache(memory_capacity=1))
+        service.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        service.aggregate(tiny_rankings, tiny_table, delta=DELTA)
+        service.aggregate(tiny_rankings, tiny_table, delta=0.5)  # evicts the first
+        service.aggregate(tiny_rankings, tiny_table, delta=DELTA)  # miss again
+        stats = service.stats()
+        assert stats["requests"] == 4
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 2
+        assert stats["hit_rate"] == pytest.approx(0.25)

@@ -41,6 +41,14 @@ class TestParser:
                 ["aggregate", "r.csv", "c.csv", "--strategy", "nope"]
             )
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8340
+        assert args.cache_dir is None
+        assert args.memory_capacity == 256
+        assert args.max_requests is None
+
 
 class TestCommands:
     def test_list_command(self, capsys):
@@ -122,6 +130,79 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Fair-Borda" in output
         assert "PD loss" in output
+
+    def test_aggregate_cache_dir_replays_the_stored_result(self, tmp_path, capsys):
+        cache_dir = tmp_path / "consensus-cache"
+        arguments = [
+            "aggregate",
+            str(FIXTURE_DIRECTORY / "rankings.csv"),
+            str(FIXTURE_DIRECTORY / "candidates.csv"),
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(arguments) == 0
+        cold = capsys.readouterr().out
+        assert "cache: miss" in cold
+        assert main(arguments) == 0
+        warm = capsys.readouterr().out
+        assert "cache: hit" in warm
+        # Identical consensus and metrics, straight from the disk blob.
+        assert cold.replace("cache: miss", "cache: hit") == warm
+
+    def test_serve_command_smoke(self, tmp_path):
+        """`mani-rank serve` binds, answers each endpoint, and exits cleanly."""
+        import json
+        import re
+        import subprocess
+        import sys
+        import urllib.request
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--max-requests",
+                "3",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            base = f"http://{match.group(1)}:{match.group(2)}"
+            body = json.dumps(
+                {
+                    "rankings_csv": str(FIXTURE_DIRECTORY / "rankings.csv"),
+                    "candidates_csv": str(FIXTURE_DIRECTORY / "candidates.csv"),
+                }
+            ).encode()
+            request = urllib.request.Request(
+                f"{base}/aggregate", data=body, method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                aggregate = json.loads(response.read())
+            request = urllib.request.Request(f"{base}/fairness", data=body, method="POST")
+            with urllib.request.urlopen(request, timeout=30) as response:
+                fairness = json.loads(response.read())
+            with urllib.request.urlopen(f"{base}/stats", timeout=30) as response:
+                stats = json.loads(response.read())
+            assert process.wait(timeout=30) == 0
+        finally:
+            process.stdout.close()
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        assert aggregate["cached"] is False
+        assert fairness["cached"] is True  # same cache entry as /aggregate
+        assert stats["cache"]["hits"] == 1
 
     def test_aggregate_strategy_requires_seeded_method(
         self, tmp_path, tiny_table, tiny_rankings
