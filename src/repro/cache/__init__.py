@@ -15,6 +15,13 @@ layers:
     :mod:`repro.io.serialization`) with hit/miss/eviction/size counters
     reported as a :class:`~repro.cache.store.CacheStats` snapshot.
 
+:mod:`repro.cache.resilience`
+    The failure-containment primitives the serving stack runs on: retry with
+    backoff around the disk tier, a circuit breaker that degrades the cache
+    to memory-only service under persistent disk faults, admission control
+    with load shedding, latency recording, and the injectable clock behind
+    every HTTP deadline.
+
 :mod:`repro.cache.service` / :mod:`repro.cache.http`
     :class:`~repro.cache.service.ConsensusCacheService` computes or replays
     full consensus payloads through the aggregation registry (every
@@ -36,16 +43,31 @@ from repro.cache.fingerprint import (
     fingerprint_ranking_set,
 )
 from repro.cache.http import ConsensusHTTPServer, run_server
+from repro.cache.resilience import (
+    AdmissionController,
+    AsyncClock,
+    CircuitBreaker,
+    LatencyRecorder,
+    RetryPolicy,
+    ServerLimits,
+)
 from repro.cache.service import ConsensusCacheService, compute_consensus_payload
-from repro.cache.store import CacheStats, DiskTier, ResultCache
+from repro.cache.store import CacheStats, DiskTier, LocalFilesystem, ResultCache
 
 __all__ = [
+    "AdmissionController",
+    "AsyncClock",
     "CacheKey",
     "CacheStats",
+    "CircuitBreaker",
     "ConsensusCacheService",
     "ConsensusHTTPServer",
     "DiskTier",
+    "LatencyRecorder",
+    "LocalFilesystem",
     "ResultCache",
+    "RetryPolicy",
+    "ServerLimits",
     "cache_key",
     "compute_consensus_payload",
     "fingerprint_candidate_table",

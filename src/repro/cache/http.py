@@ -1,7 +1,7 @@
 """Asyncio HTTP front-end for the consensus cache (``mani-rank serve``).
 
 A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` — no
-``http.server``, no third-party framework — exposing three JSON endpoints:
+``http.server``, no third-party framework — exposing JSON endpoints:
 
 ``POST /aggregate``
     Body: ``{"rankings": ..., "candidates": ..., "method", "strategy",
@@ -17,17 +17,33 @@ A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` — no
     after ``/aggregate`` for the same query is a cache hit.
 
 ``GET /stats``
-    Cache counters (hits/misses/evictions/sizes), server request counters,
-    and the servable method registry.
+    Cache counters (hits/misses/evictions/sizes, disk-breaker state), server
+    request/shed/timeout counters, latency percentiles, and the servable
+    method registry.
+
+``GET /healthz`` / ``GET /readyz``
+    Liveness (200 while the process serves, even disk-degraded) and
+    readiness (503 once draining has begun, so load balancers stop routing
+    new traffic before in-flight work finishes).
+
+Resilience contract (see ``docs/serving.md`` for the full status-code table):
+every read phase (request line, headers, body) runs under a deadline — slow
+clients get 408 instead of a leaked connection — and pathological header
+blocks get 431.  The compute endpoints pass through an
+:class:`~repro.cache.resilience.AdmissionController`; beyond the in-flight
+budget plus queue depth, requests are shed as 503 + ``Retry-After``.
+Shutdown (SIGINT/SIGTERM, or the ``max_requests`` budget used by the CI
+smoke) is a *graceful drain*: readiness flips false, new compute requests are
+shed, in-flight connections get up to ``drain_timeout`` seconds to finish,
+then the listener closes and :meth:`ConsensusHTTPServer.serve` returns.
 
 Cache misses are computed on a worker thread (``run_in_executor``) so slow
 aggregations do not stall other connections; the
 :class:`~repro.cache.store.ResultCache` lock keeps the tiers consistent.
-Responses always carry ``Content-Length`` and ``Connection: close``.
-Shutdown is cooperative: SIGINT/SIGTERM (installed by :func:`run_server` when
-on the main thread) or an optional ``max_requests`` budget — used by the CI
-serve smoke — stop the listener and let :meth:`ConsensusHTTPServer.serve`
-return cleanly.
+Responses always carry ``Content-Length`` and ``Connection: close``.  All
+timeouts are taken through an injectable
+:class:`~repro.cache.resilience.AsyncClock`, so the adversarial-client tests
+never sleep on real time.
 """
 
 from __future__ import annotations
@@ -38,6 +54,12 @@ import json
 import signal
 from collections.abc import Callable
 
+from repro.cache.resilience import (
+    AdmissionController,
+    AsyncClock,
+    LatencyRecorder,
+    ServerLimits,
+)
 from repro.cache.service import ConsensusCacheService
 from repro.exceptions import ReproError
 from repro.fair.registry import describe_fair_methods
@@ -50,11 +72,22 @@ from repro.io.serialization import (
 
 __all__ = ["ConsensusHTTPServer", "run_server"]
 
-_MAX_BODY_BYTES = 64 * 1024 * 1024
+#: asyncio.TimeoutError is a distinct class on 3.10 and an alias of the
+#: builtin from 3.11 on; catching both keeps the matrix green.
+_TIMEOUT_ERRORS = (asyncio.TimeoutError, TimeoutError)
 
 
 class _BadRequest(Exception):
     """Client error carrying the message served as a 400 response."""
+
+
+class _PhaseTimeout(Exception):
+    """A read phase exhausted its deadline (served as 408)."""
+
+    def __init__(self, phase: str) -> None:
+        """Record which read phase (request line / headers / body) timed out."""
+        super().__init__(phase)
+        self.phase = phase
 
 
 def _parse_inputs(body: dict):
@@ -93,8 +126,21 @@ class ConsensusHTTPServer:
         is available as :attr:`address` after :meth:`start`).
     max_requests:
         Optional request budget; after responding to this many requests the
-        server initiates shutdown.  Used by smoke tests for a clean,
+        server initiates a graceful drain.  Used by smoke tests for a clean,
         signal-free exit.
+    max_inflight, queue_depth:
+        Admission-control budget for the compute endpoints: up to
+        ``max_inflight`` concurrent requests, up to ``queue_depth`` more
+        waiting; the rest are shed as 503 + ``Retry-After``.
+    limits:
+        Per-connection read deadlines and header caps
+        (:class:`~repro.cache.resilience.ServerLimits`).
+    drain_timeout:
+        Seconds granted to in-flight connections during shutdown before they
+        are cancelled.
+    clock:
+        Injectable time source for every deadline; tests substitute a
+        virtual clock so nothing sleeps.
     """
 
     def __init__(
@@ -103,14 +149,29 @@ class ConsensusHTTPServer:
         host: str = "127.0.0.1",
         port: int = 8340,
         max_requests: int | None = None,
+        max_inflight: int = 64,
+        queue_depth: int = 16,
+        limits: ServerLimits | None = None,
+        drain_timeout: float = 5.0,
+        clock: AsyncClock | None = None,
     ) -> None:
         """See the class docstring for the parameter contract."""
         self.service = service if service is not None else ConsensusCacheService()
         self._host = host
         self._port = port
         self._max_requests = max_requests
+        self._limits = limits if limits is not None else ServerLimits()
+        self._drain_timeout = drain_timeout
+        self._clock = clock if clock is not None else AsyncClock()
+        self._admission = AdmissionController(max_inflight, queue_depth)
+        self._latency = LatencyRecorder()
         self._requests = 0
         self._endpoint_counts: dict[str, int] = {}
+        self._status_counts: dict[int, int] = {}
+        self._read_timeouts = 0
+        self._drain_cancelled = 0
+        self._draining = False
+        self._connections: set[asyncio.Task] = set()
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
         self.address: tuple[str, int] | None = None
@@ -129,21 +190,57 @@ class ConsensusHTTPServer:
         return self.address
 
     def request_stop(self) -> None:
-        """Ask the serve loop to exit (idempotent, callable from handlers)."""
+        """Ask the serve loop to drain and exit (idempotent, handler-safe)."""
         if self._stop_event is not None:
             self._stop_event.set()
 
+    @property
+    def draining(self) -> bool:
+        """``True`` once shutdown has begun (readiness is already false)."""
+        return self._draining
+
+    @property
+    def drain_cancelled(self) -> int:
+        """Connections cancelled because they outlived the drain timeout."""
+        return self._drain_cancelled
+
     async def serve(self) -> None:
-        """Run until :meth:`request_stop` (or the request budget) fires."""
+        """Run until :meth:`request_stop` (or the request budget), then drain.
+
+        Drain order: readiness flips false and new compute requests are shed
+        first; in-flight connections then get up to ``drain_timeout`` seconds
+        to finish (stragglers are cancelled and counted); only then does the
+        listener close and this coroutine return.
+        """
         if self._server is None:
             await self.start()
         assert self._server is not None and self._stop_event is not None
         try:
             await self._stop_event.wait()
         finally:
+            self._draining = True
+            await self._drain_connections()
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def _drain_connections(self) -> None:
+        """Wait (bounded) for in-flight connection tasks; cancel stragglers."""
+        pending = {task for task in self._connections if not task.done()}
+        if not pending:
+            return
+        # shield() keeps a drain timeout from cancelling the connection tasks
+        # behind our back — stragglers are cancelled explicitly so they are
+        # counted in drain_cancelled.
+        finished = asyncio.gather(*pending, return_exceptions=True)
+        try:
+            await self._clock.wait_for(asyncio.shield(finished), self._drain_timeout)
+        except _TIMEOUT_ERRORS:
+            for task in pending:
+                if not task.done():
+                    task.cancel()
+                    self._drain_cancelled += 1
+            await asyncio.gather(*pending, return_exceptions=True)
 
     # ------------------------------------------------------------------
     # request handling
@@ -151,64 +248,169 @@ class ConsensusHTTPServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        started = self._clock.monotonic()
+        extra_headers: dict[str, str] = {}
         try:
-            status, payload = await self._respond(reader)
-        except Exception as exc:  # noqa: BLE001 - a handler crash must not kill the server
-            status, payload = 500, {"error": f"internal error: {exc}"}
-        body = json.dumps(to_jsonable(payload)).encode()
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        ).encode()
-        try:
-            writer.write(head + body)
-            await writer.drain()
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):  # pragma: no cover - client hangup
-            pass
-        self._requests += 1
-        if self._max_requests is not None and self._requests >= self._max_requests:
-            self.request_stop()
+            try:
+                status, payload, extra_headers = await self._respond(reader)
+            except Exception as exc:  # noqa: BLE001 - a handler crash must not kill the server
+                status, payload = 500, {"error": f"internal error: {exc}"}
+            body = json.dumps(to_jsonable(payload)).encode()
+            header_lines = [
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                "Connection: close",
+            ]
+            header_lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+            head = ("\r\n".join(header_lines) + "\r\n\r\n").encode()
+            try:
+                writer.write(head + body)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover - client hangup
+                pass
+            self._requests += 1
+            self._status_counts[status] = self._status_counts.get(status, 0) + 1
+            self._latency.record(self._clock.monotonic() - started)
+            if self._max_requests is not None and self._requests >= self._max_requests:
+                self.request_stop()
+        finally:
+            if task is not None:
+                self._connections.discard(task)
 
-    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
-        request_line = (await reader.readline()).decode("latin-1").strip()
+    async def _read_phase(self, awaitable, phase: str, deadline: float):
+        """Await one read under the phase deadline, mapping timeout to 408."""
+        remaining = deadline - self._clock.monotonic()
+        if remaining <= 0:
+            if asyncio.iscoroutine(awaitable):
+                awaitable.close()
+            raise _PhaseTimeout(phase)
+        try:
+            return await self._clock.wait_for(awaitable, remaining)
+        except _TIMEOUT_ERRORS as exc:
+            raise _PhaseTimeout(phase) from exc
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict, dict]:
+        limits = self._limits
+        try:
+            deadline = self._clock.monotonic() + limits.read_timeout
+            raw_line = await self._read_phase(reader.readline(), "request line", deadline)
+        except _PhaseTimeout:
+            self._read_timeouts += 1
+            return 408, {"error": "timed out reading the request line"}, {}
+        except ValueError:
+            return 431, {"error": "request line too long"}, {}
+        request_line = raw_line.decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) < 2:
-            return 400, {"error": "malformed request line"}
+            return 400, {"error": "malformed request line"}, {}
         verb, path = parts[0].upper(), parts[1]
+
         headers: dict[str, str] = {}
+        deadline = self._clock.monotonic() + limits.read_timeout
         while True:
-            line = await reader.readline()
+            try:
+                line = await self._read_phase(reader.readline(), "headers", deadline)
+            except _PhaseTimeout:
+                self._read_timeouts += 1
+                return 408, {"error": "timed out reading headers"}, {}
+            except ValueError:
+                return 431, {"error": "header line too long"}, {}
             if line in (b"\r\n", b"\n", b""):
                 break
+            if len(line) > limits.max_header_bytes:
+                return 431, {"error": "header line too long"}, {}
+            if len(headers) >= limits.max_header_count:
+                return 431, {"error": "too many headers"}, {}
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        content_length = int(headers.get("content-length", "0") or "0")
-        if content_length > _MAX_BODY_BYTES:
-            return 413, {"error": "request body too large"}
-        raw_body = await reader.readexactly(content_length) if content_length else b""
+
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            content_length = int(raw_length)
+        except ValueError:
+            return 400, {"error": f"invalid Content-Length: {raw_length!r}"}, {}
+        if content_length < 0:
+            return 400, {"error": f"negative Content-Length: {content_length}"}, {}
+        if content_length > limits.max_body_bytes:
+            return 413, {"error": "request body too large"}, {}
+        raw_body = b""
+        if content_length:
+            deadline = self._clock.monotonic() + limits.read_timeout
+            try:
+                raw_body = await self._read_phase(
+                    reader.readexactly(content_length), "body", deadline
+                )
+            except _PhaseTimeout:
+                self._read_timeouts += 1
+                return 408, {"error": "timed out reading the request body"}, {}
+            except asyncio.IncompleteReadError as exc:
+                return 400, {
+                    "error": (
+                        f"truncated request body: expected {content_length} bytes, "
+                        f"got {len(exc.partial)}"
+                    )
+                }, {}
 
         route = _ROUTES.get(path)
         if route is None:
-            return 404, {"error": f"unknown path {path!r}", "paths": sorted(_ROUTES)}
-        expected_verb, handler = route
+            return 404, {"error": f"unknown path {path!r}", "paths": sorted(_ROUTES)}, {}
+        expected_verb, handler, sheddable = route
         if verb != expected_verb:
-            return 405, {"error": f"{path} expects {expected_verb}, got {verb}"}
+            return 405, {"error": f"{path} expects {expected_verb}, got {verb}"}, {}
 
         self._endpoint_counts[path] = self._endpoint_counts.get(path, 0) + 1
         try:
             body = json.loads(raw_body) if raw_body else {}
             if not isinstance(body, dict):
                 raise _BadRequest("request body must be a JSON object")
-            return 200, await handler(self, body)
         except json.JSONDecodeError as exc:
-            return 400, {"error": f"request body is not valid JSON: {exc}"}
+            return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}, {}
+
+        if sheddable:
+            return await self._dispatch_guarded(handler, body)
+        return await self._dispatch(handler, body)
+
+    async def _dispatch(self, handler: Callable, body: dict) -> tuple[int, dict, dict]:
+        """Run one handler, mapping domain errors to 400."""
+        try:
+            result = handler(self, body)
+            if asyncio.iscoroutine(result):
+                result = await result
         except (_BadRequest, ReproError, ValueError) as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, {}
+        if isinstance(result, tuple):
+            status, payload = result
+            return status, payload, {}
+        return 200, result, {}
+
+    async def _dispatch_guarded(
+        self, handler: Callable, body: dict
+    ) -> tuple[int, dict, dict]:
+        """Admission-controlled dispatch for the compute endpoints."""
+        if self._draining:
+            return (
+                503,
+                {"error": "server is draining; retry against another instance"},
+                {"Retry-After": "1"},
+            )
+        if not await self._admission.acquire():
+            return (
+                503,
+                {"error": "server overloaded: in-flight budget and queue are full"},
+                {"Retry-After": "1"},
+            )
+        try:
+            return await self._dispatch(handler, body)
+        finally:
+            self._admission.release()
 
     async def _run_query(self, body: dict) -> dict:
         """Resolve inputs and run the cached aggregation off the event loop."""
@@ -224,9 +426,11 @@ class ConsensusHTTPServer:
         return await asyncio.get_running_loop().run_in_executor(None, query)
 
     async def _handle_aggregate(self, body: dict) -> dict:
+        """``POST /aggregate``: full cached-or-computed consensus payload."""
         return await self._run_query(body)
 
     async def _handle_fairness(self, body: dict) -> dict:
+        """``POST /fairness``: fairness projection of the same cache entry."""
         response = await self._run_query(body)
         result = response["result"]
         return {
@@ -240,14 +444,34 @@ class ConsensusHTTPServer:
         }
 
     async def _handle_stats(self, body: dict) -> dict:
+        """``GET /stats``: cache, admission, latency, and registry counters."""
         return {
             "cache": self.service.stats(),
             "server": {
                 "requests": self._requests,
                 "endpoints": dict(sorted(self._endpoint_counts.items())),
+                "responses_by_status": {
+                    str(status): count
+                    for status, count in sorted(self._status_counts.items())
+                },
+                "admission": self._admission.snapshot(),
+                "read_timeouts": self._read_timeouts,
+                "drain_cancelled": self._drain_cancelled,
+                "draining": self._draining,
+                "latency": self._latency.snapshot(),
             },
             "methods": describe_fair_methods(),
         }
+
+    def _handle_healthz(self, body: dict) -> dict:
+        """``GET /healthz``: liveness — 200 while the process can answer at all."""
+        return {"status": "ok", **self.service.health()}
+
+    def _handle_readyz(self, body: dict) -> tuple[int, dict]:
+        """``GET /readyz``: readiness — 503 once draining has begun."""
+        if self._draining or (self._stop_event is not None and self._stop_event.is_set()):
+            return 503, {"ready": False, "reason": "draining"}
+        return 200, {"ready": True}
 
 
 _REASONS = {
@@ -255,14 +479,21 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
-_ROUTES: dict[str, tuple[str, Callable]] = {
-    "/aggregate": ("POST", ConsensusHTTPServer._handle_aggregate),
-    "/fairness": ("POST", ConsensusHTTPServer._handle_fairness),
-    "/stats": ("GET", ConsensusHTTPServer._handle_stats),
+#: path → (verb, handler, sheddable).  The compute endpoints are admission
+#: controlled; stats/health/readiness must answer even under load or drain.
+_ROUTES: dict[str, tuple[str, Callable, bool]] = {
+    "/aggregate": ("POST", ConsensusHTTPServer._handle_aggregate, True),
+    "/fairness": ("POST", ConsensusHTTPServer._handle_fairness, True),
+    "/stats": ("GET", ConsensusHTTPServer._handle_stats, False),
+    "/healthz": ("GET", ConsensusHTTPServer._handle_healthz, False),
+    "/readyz": ("GET", ConsensusHTTPServer._handle_readyz, False),
 }
 
 
@@ -272,18 +503,30 @@ def run_server(
     port: int = 8340,
     max_requests: int | None = None,
     on_ready: Callable[[tuple[str, int]], None] | None = None,
+    max_inflight: int = 64,
+    queue_depth: int = 16,
+    read_timeout: float = 10.0,
+    drain_timeout: float = 5.0,
 ) -> int:
     """Blocking entry point behind ``mani-rank serve``.
 
     Binds, reports the bound address through ``on_ready`` (the CLI prints it;
     tests use it to launch client threads), installs SIGINT/SIGTERM handlers
-    when running on the main thread, and serves until stopped.  Returns the
-    process exit code (0 on clean shutdown).
+    when running on the main thread, and serves until stopped — draining
+    in-flight requests (bounded by ``drain_timeout``) before returning.
+    Returns the process exit code (0 on clean shutdown).
     """
 
     async def _main() -> None:
         server = ConsensusHTTPServer(
-            service, host=host, port=port, max_requests=max_requests
+            service,
+            host=host,
+            port=port,
+            max_requests=max_requests,
+            max_inflight=max_inflight,
+            queue_depth=queue_depth,
+            limits=ServerLimits(read_timeout=read_timeout),
+            drain_timeout=drain_timeout,
         )
         address = await server.start()
         loop = asyncio.get_running_loop()

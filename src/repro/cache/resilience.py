@@ -1,0 +1,368 @@
+"""Resilience primitives for the serving stack: retries, breakers, admission.
+
+The serving layer (PR 6) was only correct on the happy path: a slow client
+could hold a connection forever, a full disk turned every cache write into a
+500, and shutdown abandoned in-flight aggregations.  This module collects the
+failure-containment building blocks the stack now runs on:
+
+:class:`RetryPolicy`
+    Synchronous retry-with-backoff for transient :class:`OSError`\\ s around
+    the disk tier's filesystem operations.  The sleep function is injectable
+    so tests never wait on real time.
+
+:class:`CircuitBreaker`
+    A classic closed → open → half-open breaker.  After ``failure_threshold``
+    consecutive failures the breaker opens and callers stop attempting the
+    guarded operation; after ``recovery_after`` seconds (measured on an
+    injectable monotonic clock) a single half-open probe is allowed through —
+    success closes the breaker, failure re-opens it.  The cache uses this to
+    degrade to memory-only service instead of raising out of ``put``.
+
+:class:`AdmissionController`
+    A semaphore-style in-flight budget with an explicit bounded wait queue.
+    ``acquire`` admits immediately below the budget, queues up to
+    ``queue_depth`` waiters, and *sheds* (returns ``False``) beyond that so
+    the HTTP front-end can answer 503 + ``Retry-After`` instead of piling up
+    unbounded work.  Single-event-loop use only — no locks.
+
+:class:`LatencyRecorder`
+    A fixed-window latency sample with nearest-rank percentiles for the
+    ``/stats`` endpoint.
+
+:class:`AsyncClock`
+    The event-loop time source behind every HTTP deadline (``monotonic`` /
+    ``wait_for`` / ``sleep``).  Tests substitute a virtual clock
+    (``tests/cache/faults.py``) whose time only advances on demand, so the
+    slowloris/drain suites are deterministic and sleep-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+__all__ = [
+    "AdmissionController",
+    "AsyncClock",
+    "CircuitBreaker",
+    "LatencyRecorder",
+    "RetryPolicy",
+]
+
+T = TypeVar("T")
+
+#: Breaker state names (also reported verbatim in ``CacheStats.breaker_state``).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class RetryPolicy:
+    """Retry a synchronous operation with exponential backoff.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries, including the first (so ``attempts=3`` retries twice).
+    base_delay:
+        Seconds slept after the first failure; each further failure multiplies
+        the delay by ``multiplier``.
+    multiplier:
+        Backoff factor between consecutive delays.
+    retry_on:
+        Exception types considered transient and retried.
+    no_retry:
+        Exception types re-raised immediately even when they match
+        ``retry_on`` — ``FileNotFoundError`` by default, because a missing
+        blob is a definitive miss, never a transient fault.
+    sleep:
+        Injectable sleep function; tests pass a no-op so retries are instant.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    retry_on: tuple[type[BaseException], ...] = (OSError,)
+    no_retry: tuple[type[BaseException], ...] = (FileNotFoundError,)
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        """Validate the attempt budget."""
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+
+    def call(self, operation: Callable[[], T]) -> T:
+        """Run ``operation``, retrying transient failures; re-raise the last one."""
+        delay = self.base_delay
+        for attempt in range(self.attempts):
+            try:
+                return operation()
+            except self.retry_on as exc:
+                if isinstance(exc, self.no_retry) or attempt == self.attempts - 1:
+                    raise
+                self.sleep(delay)
+                delay *= self.multiplier
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over an injectable monotonic clock.
+
+    ``allow()`` answers "may the caller attempt the guarded operation now?":
+
+    - **closed** — always ``True``; consecutive failures are counted and the
+      breaker opens at ``failure_threshold``.
+    - **open** — ``False`` until ``recovery_after`` seconds have elapsed since
+      opening; then the next ``allow()`` transitions to half-open and admits
+      exactly one probe.
+    - **half-open** — the probe is in flight: further ``allow()`` calls return
+      ``False``.  ``record_success`` closes the breaker, ``record_failure``
+      re-opens it (restarting the recovery clock), and ``record_neutral`` —
+      an outcome that never exercised the guarded path, such as a clean
+      cache miss — releases the probe slot so the next caller probes again.
+
+    Thread-safe: the cache calls it both under its own lock and from tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """See the class docstring for the parameter contract."""
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self._threshold = failure_threshold
+        self._recovery_after = recovery_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._open_count = 0
+
+    @property
+    def state(self) -> str:
+        """Current state: ``"closed"``, ``"open"``, or ``"half-open"``."""
+        with self._lock:
+            return self._state
+
+    @property
+    def open_count(self) -> int:
+        """Lifetime number of closed/half-open → open transitions."""
+        with self._lock:
+            return self._open_count
+
+    def allow(self) -> bool:
+        """Return ``True`` when the guarded operation may be attempted now."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self._recovery_after:
+                    self._state = HALF_OPEN
+                    return True  # the single half-open probe
+                return False
+            return False  # half-open: probe already in flight
+
+    def record_success(self) -> None:
+        """Report a successful guarded operation: reset failures, close."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """Report a failed guarded operation; may open (or re-open) the breaker."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or self._consecutive_failures >= self._threshold:
+                if self._state != OPEN:
+                    self._open_count += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def record_neutral(self) -> None:
+        """Report an outcome that is evidence of neither health nor failure.
+
+        A clean cache miss never exercises the faulty path (a write-broken
+        disk reads fine), so it must not reset the consecutive-failure count
+        the way ``record_success`` does.  When it was the half-open probe
+        that came back inconclusive, the probe slot is released — the state
+        returns to open with the recovery clock untouched, so the very next
+        ``allow()`` admits a fresh probe.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+
+
+class AdmissionController:
+    """Bounded in-flight budget with an explicit wait queue; excess is shed.
+
+    Built for single-event-loop use (no locks): ``acquire`` either admits
+    immediately (``active < max_inflight``), parks the caller in a FIFO queue
+    bounded by ``queue_depth``, or returns ``False`` — the shed signal the
+    HTTP layer maps to 503 + ``Retry-After``.  ``release`` hands the freed
+    slot to the oldest live waiter.
+    """
+
+    def __init__(self, max_inflight: int = 64, queue_depth: int = 16) -> None:
+        """See the class docstring for the parameter contract."""
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be non-negative")
+        self._max_inflight = max_inflight
+        self._queue_depth = queue_depth
+        self._active = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self._admitted = 0
+        self._shed = 0
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding an in-flight slot."""
+        return self._active
+
+    @property
+    def queued(self) -> int:
+        """Requests currently parked in the wait queue."""
+        return sum(1 for waiter in self._waiters if not waiter.done())
+
+    @property
+    def shed(self) -> int:
+        """Lifetime number of requests rejected because the queue was full."""
+        return self._shed
+
+    async def acquire(self) -> bool:
+        """Admit, queue, or shed; return ``True`` once a slot is held."""
+        if self._active < self._max_inflight:
+            self._active += 1
+            self._admitted += 1
+            return True
+        if self.queued >= self._queue_depth:
+            self._shed += 1
+            return False
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                # The slot was handed over in the same tick we were cancelled:
+                # give it back so it is not leaked.
+                self.release()
+            raise
+        self._admitted += 1
+        return True
+
+    def release(self) -> None:
+        """Free a slot, handing it to the oldest still-waiting request."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(True)  # the slot transfers; active is unchanged
+                return
+        self._active -= 1
+
+    def snapshot(self) -> dict[str, int]:
+        """JSON-safe counters for the ``/stats`` endpoint."""
+        return {
+            "max_inflight": self._max_inflight,
+            "queue_depth": self._queue_depth,
+            "inflight": self._active,
+            "queued": self.queued,
+            "admitted": self._admitted,
+            "shed": self._shed,
+        }
+
+
+class LatencyRecorder:
+    """Fixed-window latency sample with nearest-rank percentiles.
+
+    Records per-request wall seconds into a bounded deque (the window) and
+    reports p50/p90/p99/mean in milliseconds plus the lifetime count.
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        """Keep at most ``window`` recent samples for the percentile view."""
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one request latency (in seconds) to the window."""
+        self._samples.append(seconds)
+        self._count += 1
+
+    @staticmethod
+    def _percentile(ordered: list[float], fraction: float) -> float:
+        """Nearest-rank percentile of a pre-sorted sample."""
+        rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, float | int]:
+        """JSON-safe ``{count, mean_ms, p50_ms, p90_ms, p99_ms}`` summary."""
+        ordered = sorted(self._samples)
+        if not ordered:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0}
+        to_ms = 1000.0
+        return {
+            "count": self._count,
+            "mean_ms": sum(ordered) / len(ordered) * to_ms,
+            "p50_ms": self._percentile(ordered, 0.50) * to_ms,
+            "p90_ms": self._percentile(ordered, 0.90) * to_ms,
+            "p99_ms": self._percentile(ordered, 0.99) * to_ms,
+        }
+
+
+@dataclass(frozen=True)
+class ServerLimits:
+    """Read-deadline and header-size limits enforced per connection.
+
+    ``read_timeout`` bounds each *phase* of reading a request (request line,
+    header block, body) separately; a client that trickles bytes forever gets
+    a 408 at the first exhausted phase.  ``max_header_count`` and
+    ``max_header_bytes`` (per line) turn pathological header blocks into 431
+    responses instead of unbounded buffering.
+    """
+
+    read_timeout: float = 10.0
+    max_header_count: int = 100
+    max_header_bytes: int = 8192
+    max_body_bytes: int = 64 * 1024 * 1024
+
+
+@dataclass
+class AsyncClock:
+    """Event-loop time source: ``monotonic`` plus deadline-bounded awaiting.
+
+    The HTTP server takes every timestamp and timeout through this object so
+    tests can substitute a virtual clock (``tests/cache/faults.py``) whose
+    time advances only when the test says so — deterministic slowloris and
+    drain coverage with zero real sleeping.
+    """
+
+    _monotonic: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def monotonic(self) -> float:
+        """Current monotonic time in seconds."""
+        return self._monotonic()
+
+    async def wait_for(self, awaitable: Awaitable[T], timeout: float) -> T:
+        """Await ``awaitable``, raising ``asyncio.TimeoutError`` past ``timeout``."""
+        return await asyncio.wait_for(awaitable, timeout)
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling task for ``delay`` seconds."""
+        await asyncio.sleep(delay)
+
+
+# ServerLimits is re-exported with the primitives above.
+__all__.append("ServerLimits")

@@ -147,3 +147,18 @@ class ConsensusCacheService:
     def stats(self) -> dict:
         """JSON-safe snapshot of the cache counters."""
         return self._cache.stats().to_dict()
+
+    def health(self) -> dict:
+        """Liveness view for ``/healthz``: overall status plus disk degradation.
+
+        The service stays *live* (and bit-identical: compute always works,
+        memory tier always admits) even when the disk tier is broken — the
+        breaker merely degrades persistence, so health reports ``degraded``
+        rather than failing.
+        """
+        stats = self._cache.stats()
+        return {
+            "disk_degraded": stats.disk_degraded,
+            "breaker_state": stats.breaker_state,
+            "disk_errors": stats.disk_errors,
+        }

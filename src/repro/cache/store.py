@@ -6,18 +6,33 @@ JSON blob per digest, written atomically (temp file + :func:`os.replace`) so a
 crash mid-write never leaves a truncated blob under the final name.  Reads
 fall through memory → disk; a disk hit is promoted back into memory.
 
-Failure containment: a corrupted disk blob (truncated file, invalid JSON,
-non-object payload) is treated as a miss — the blob is deleted, a
-``disk_corruptions`` counter is bumped, and the caller recomputes.  The cache
-never raises on bad persisted state.
+Failure containment (degrade, don't die):
 
-All operations are guarded by one lock so the HTTP front-end can compute
-cache misses on executor threads; counters are reported as an immutable
-:class:`CacheStats` snapshot.
+- A corrupted disk blob (truncated file, invalid JSON, non-object payload) is
+  treated as a miss — the blob is deleted, ``disk_corruptions`` is bumped,
+  and the caller recomputes.
+- Transient :class:`OSError`\\ s around the disk tier (``ENOSPC``, permission
+  flaps, ...) are retried with backoff (:class:`~repro.cache.resilience.RetryPolicy`);
+  a load that still fails degrades to a quarantined miss (``disk_errors``),
+  never an exception out of :meth:`ResultCache.get`.
+- Repeated store/load failures open a
+  :class:`~repro.cache.resilience.CircuitBreaker`: the cache degrades to
+  memory-only service (``disk_degraded`` in :class:`CacheStats`) instead of
+  raising out of :meth:`ResultCache.put`, and a half-open probe re-attaches
+  the disk tier once it recovers.
+- Startup sweeps stale ``*.json.tmp`` files left by a crash between the temp
+  write and the atomic rename.
+
+All filesystem access goes through an injectable :class:`LocalFilesystem`
+seam so the fault-injection harness (``tests/cache/faults.py``) can fail,
+tear, or delay any operation on a schedule.  All cache operations are guarded
+by one lock so the HTTP front-end can compute cache misses on executor
+threads; counters are reported as an immutable :class:`CacheStats` snapshot.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import threading
@@ -25,9 +40,47 @@ from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.cache.resilience import CLOSED, CircuitBreaker, RetryPolicy
 from repro.io.serialization import canonical_json
 
-__all__ = ["CacheStats", "DiskTier", "ResultCache"]
+__all__ = ["CacheStats", "DiskTier", "LocalFilesystem", "ResultCache"]
+
+
+class LocalFilesystem:
+    """Direct filesystem operations behind the :class:`DiskTier` seam.
+
+    Every disk-tier touch routes through one of these methods so the
+    fault-injection harness can subclass this and fail operations on a
+    schedule (ENOSPC, EACCES, torn writes) without monkeypatching.
+    """
+
+    def read_text(self, path: Path) -> str:
+        """Return the text contents of ``path``."""
+        return Path(path).read_text()
+
+    def write_text(self, path: Path, text: str) -> None:
+        """Write ``text`` to ``path``."""
+        Path(path).write_text(text)
+
+    def replace(self, source: Path, destination: Path) -> None:
+        """Atomically rename ``source`` over ``destination``."""
+        os.replace(source, destination)
+
+    def unlink(self, path: Path, missing_ok: bool = False) -> None:
+        """Remove ``path``."""
+        Path(path).unlink(missing_ok=missing_ok)
+
+    def glob(self, directory: Path, pattern: str) -> list[Path]:
+        """List the paths under ``directory`` matching ``pattern``."""
+        return list(Path(directory).glob(pattern))
+
+    def stat(self, path: Path) -> os.stat_result:
+        """Stat ``path``."""
+        return Path(path).stat()
+
+    def mkdir(self, directory: Path) -> None:
+        """Create ``directory`` (and parents) if missing."""
+        Path(directory).mkdir(parents=True, exist_ok=True)
 
 
 @dataclass(frozen=True)
@@ -36,8 +89,13 @@ class CacheStats:
 
     ``hits`` always equals ``memory_hits + disk_hits``; ``disk_corruptions``
     counts blobs that were discarded as unreadable (each also counted as a
-    miss).  ``memory_entries``/``disk_entries``/``disk_bytes`` are the current
-    sizes, not lifetime counters.
+    miss).  ``disk_errors`` counts disk operations that still failed after
+    retries (reads degrade to quarantined misses, writes to memory-only
+    stores); ``disk_degraded`` is ``True`` while the disk circuit breaker is
+    not closed — the cache is serving memory-only — and ``breaker_state``
+    reports the breaker verbatim (``closed``/``open``/``half-open``).
+    ``memory_entries``/``disk_entries``/``disk_bytes`` are the current sizes,
+    not lifetime counters.
     """
 
     hits: int = 0
@@ -49,6 +107,9 @@ class CacheStats:
     memory_entries: int = 0
     disk_entries: int = 0
     disk_bytes: int = 0
+    disk_errors: int = 0
+    disk_degraded: bool = False
+    breaker_state: str = CLOSED
 
     @property
     def requests(self) -> int:
@@ -74,15 +135,33 @@ class DiskTier:
     """One-JSON-blob-per-digest persistent tier under ``directory``.
 
     Blobs are canonical JSON objects named ``<digest>.json``.  Loading a blob
-    that is missing returns ``None``; loading one that is unreadable deletes
-    it and returns ``None`` while reporting the corruption to the caller.
+    that is missing returns ``None``; loading one that is unreadable —
+    corrupt content *or* a persistent ``OSError`` such as permission denied —
+    degrades to ``None`` while reporting the corruption/error to the caller
+    via :meth:`pop_corruptions`/:meth:`pop_errors`.  Transient ``OSError``\\ s
+    are retried per ``retry``; construction sweeps stale ``*.json.tmp`` files
+    left by a crash mid-store.
     """
 
-    def __init__(self, directory: str | Path) -> None:
-        """Create (if needed) and bind the blob directory."""
+    def __init__(
+        self,
+        directory: str | Path,
+        retry: RetryPolicy | None = None,
+        fs: LocalFilesystem | None = None,
+    ) -> None:
+        """Create (if needed) and bind the blob directory.
+
+        ``retry`` wraps every filesystem operation (default: 3 attempts with
+        exponential backoff); ``fs`` is the filesystem seam the fault harness
+        substitutes.
+        """
         self._directory = Path(directory)
-        self._directory.mkdir(parents=True, exist_ok=True)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._fs = fs if fs is not None else LocalFilesystem()
         self._corruptions = 0
+        self._errors = 0
+        self._fs.mkdir(self._directory)
+        self._sweep_stale_temp_files()
 
     @property
     def directory(self) -> Path:
@@ -93,19 +172,37 @@ class DiskTier:
         """Blob path of ``digest``."""
         return self._directory / f"{digest}.json"
 
+    def _sweep_stale_temp_files(self) -> None:
+        """Remove ``*.json.tmp`` leftovers from a crash between write and rename."""
+        try:
+            for stale in self._fs.glob(self._directory, "*.json.tmp"):
+                self._fs.unlink(stale, missing_ok=True)
+        except OSError:
+            # The sweep is best-effort hygiene; a listing/unlink failure here
+            # must not stop the tier from coming up.
+            self._errors += 1
+
     def load(self, digest: str) -> dict | None:
         """Return the stored payload, or ``None`` on a miss.
 
         Returns
         -------
-        The payload dictionary, or ``None`` when the blob is missing or was
-        discarded as corrupt (distinguish via the return of :meth:`discarded`
-        — :class:`ResultCache` tracks the counter).
+        The payload dictionary, or ``None`` when the blob is missing, was
+        discarded as corrupt, or could not be read at all (persistent
+        ``OSError`` after retries).  The caller distinguishes the cases via
+        :meth:`pop_corruptions`/:meth:`pop_errors` — :class:`ResultCache`
+        tracks both counters and feeds its disk circuit breaker from them.
         """
         path = self.path_for(digest)
         try:
-            text = path.read_text()
+            text = self._retry.call(functools.partial(self._fs.read_text, path))
         except FileNotFoundError:
+            return None
+        except OSError:
+            # Permission denied, I/O error, ...: a quarantined miss, never an
+            # exception into ResultCache.get.  The blob stays put (we may not
+            # even be able to unlink it); the error counter reports it.
+            self._errors += 1
             return None
         try:
             payload = json.loads(text)
@@ -114,7 +211,10 @@ class DiskTier:
         if not isinstance(payload, dict):
             # Truncated or otherwise mangled blob: drop it so the slot heals
             # on the next store, and let the caller recompute.
-            path.unlink(missing_ok=True)
+            try:
+                self._fs.unlink(path, missing_ok=True)
+            except OSError:
+                self._errors += 1
             self._corruptions += 1
             return None
         return payload
@@ -125,20 +225,63 @@ class DiskTier:
         self._corruptions = 0
         return count
 
+    def pop_errors(self) -> int:
+        """Return and reset the number of failed disk operations since the last call."""
+        count = self._errors
+        self._errors = 0
+        return count
+
     def store(self, digest: str, payload: dict) -> None:
-        """Atomically persist ``payload`` as the blob for ``digest``."""
+        """Atomically persist ``payload`` as the blob for ``digest``.
+
+        Transient failures are retried per the tier's
+        :class:`~repro.cache.resilience.RetryPolicy`; a persistent failure
+        raises the final :class:`OSError` (after a best-effort cleanup of the
+        temp file) so :class:`ResultCache` can count it and trip its breaker.
+        """
         path = self.path_for(digest)
         temporary = path.with_suffix(".json.tmp")
-        temporary.write_text(canonical_json(payload) + "\n")
-        os.replace(temporary, path)
+        text = canonical_json(payload) + "\n"
+
+        def _write_and_rename() -> None:
+            self._fs.write_text(temporary, text)
+            self._fs.replace(temporary, path)
+
+        try:
+            self._retry.call(_write_and_rename)
+        except OSError:
+            try:
+                self._fs.unlink(temporary, missing_ok=True)
+            except OSError:
+                pass
+            raise
 
     def entry_count(self) -> int:
-        """Number of blobs currently on disk."""
-        return sum(1 for _ in self._directory.glob("*.json"))
+        """Number of blobs currently on disk (0 when the listing itself fails)."""
+        try:
+            return len(self._fs.glob(self._directory, "*.json"))
+        except OSError:
+            self._errors += 1
+            return 0
 
     def total_bytes(self) -> int:
-        """Total size in bytes of the blobs currently on disk."""
-        return sum(path.stat().st_size for path in self._directory.glob("*.json"))
+        """Total size in bytes of the blobs currently on disk.
+
+        A blob unlinked between the listing and its ``stat`` (or made
+        unreadable) is skipped instead of raising out of ``/stats``.
+        """
+        try:
+            paths = self._fs.glob(self._directory, "*.json")
+        except OSError:
+            self._errors += 1
+            return 0
+        total = 0
+        for path in paths:
+            try:
+                total += self._fs.stat(path).st_size
+            except OSError:
+                continue
+        return total
 
 
 class ResultCache:
@@ -154,19 +297,36 @@ class ResultCache:
         Optional disk-tier directory.  When set, every stored payload is also
         persisted, memory evictions remain servable from disk, and the cache
         survives process restarts.
+    retry:
+        Retry policy wrapped around every disk-tier filesystem operation
+        (default: 3 attempts, exponential backoff).
+    breaker:
+        Disk circuit breaker.  While it is not closed the cache serves
+        memory-only (``disk_degraded`` in :class:`CacheStats`); a half-open
+        probe re-attaches the disk tier after recovery.  Defaults to a
+        3-failure threshold with a 30 s recovery window.
+    fs:
+        Filesystem seam handed to the disk tier (fault-injection tests
+        substitute a scheduled-failure implementation).
     """
 
     def __init__(
         self,
         memory_capacity: int | None = 256,
         directory: str | Path | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        fs: LocalFilesystem | None = None,
     ) -> None:
         """See the class docstring for the parameter contract."""
         if memory_capacity is not None and memory_capacity < 1:
             raise ValueError("memory_capacity must be at least 1 (or None)")
         self._capacity = memory_capacity
         self._memory: OrderedDict[str, dict] = OrderedDict()
-        self._disk = DiskTier(directory) if directory is not None else None
+        self._disk = (
+            DiskTier(directory, retry=retry, fs=fs) if directory is not None else None
+        )
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -174,11 +334,20 @@ class ResultCache:
         self._disk_hits = 0
         self._evictions = 0
         self._disk_corruptions = 0
+        self._disk_errors = 0
+        if self._disk is not None:
+            # Errors during the construction-time temp-file sweep count too.
+            self._disk_errors += self._disk.pop_errors()
 
     @property
     def disk(self) -> DiskTier | None:
         """The disk tier, or ``None`` when the cache is memory-only."""
         return self._disk
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The disk circuit breaker (meaningful only with a disk tier)."""
+        return self._breaker
 
     def _admit(self, digest: str, payload: dict) -> None:
         """Insert into the memory tier, evicting the LRU entry past capacity."""
@@ -189,17 +358,42 @@ class ResultCache:
                 self._memory.popitem(last=False)
                 self._evictions += 1
 
+    def _absorb_disk_outcome(self, evidence: bool = True) -> None:
+        """Pull the disk tier's corruption/error counters and feed the breaker.
+
+        ``evidence`` marks outcomes that actually exercised the disk (a
+        payload was read or written).  A clean file-not-found miss is
+        *neutral* — a write-broken disk still answers reads, so letting cold
+        misses count as successes would reset the consecutive-failure count
+        between failing stores and keep the breaker closed forever.
+        """
+        assert self._disk is not None
+        self._disk_corruptions += self._disk.pop_corruptions()
+        errors = self._disk.pop_errors()
+        self._disk_errors += errors
+        if errors:
+            self._breaker.record_failure()
+        elif evidence:
+            self._breaker.record_success()
+        else:
+            self._breaker.record_neutral()
+
     def get(self, digest: str) -> dict | None:
-        """Return the cached payload for ``digest``, or ``None`` on a miss."""
+        """Return the cached payload for ``digest``, or ``None`` on a miss.
+
+        While the disk breaker is open the disk tier is skipped entirely
+        (memory-only service); a half-open probe read decides whether it
+        closes again.
+        """
         with self._lock:
             if digest in self._memory:
                 self._memory.move_to_end(digest)
                 self._hits += 1
                 self._memory_hits += 1
                 return self._memory[digest]
-            if self._disk is not None:
+            if self._disk is not None and self._breaker.allow():
                 payload = self._disk.load(digest)
-                self._disk_corruptions += self._disk.pop_corruptions()
+                self._absorb_disk_outcome(evidence=payload is not None)
                 if payload is not None:
                     self._hits += 1
                     self._disk_hits += 1
@@ -209,16 +403,33 @@ class ResultCache:
             return None
 
     def put(self, digest: str, payload: dict) -> None:
-        """Store ``payload`` under ``digest`` in both tiers."""
+        """Store ``payload`` under ``digest`` in both tiers.
+
+        A disk store that still fails after retries is absorbed — counted in
+        ``disk_errors``, reported to the breaker (repeated failures open it
+        and degrade the cache to memory-only) — and never raised; the memory
+        tier always admits the payload first.
+        """
         with self._lock:
             self._admit(digest, payload)
-            if self._disk is not None:
+            if self._disk is None or not self._breaker.allow():
+                return
+            try:
                 self._disk.store(digest, payload)
+            except OSError:
+                # store() raises without counting; +1 is the final failure.
+                self._disk_errors += self._disk.pop_errors() + 1
+                self._disk_corruptions += self._disk.pop_corruptions()
+                self._breaker.record_failure()
+            else:
+                self._absorb_disk_outcome()
 
     def stats(self) -> CacheStats:
         """Return an immutable snapshot of the counters and current sizes."""
         with self._lock:
-            return CacheStats(
+            breaker_state = self._breaker.state if self._disk is not None else CLOSED
+            disk_ok = self._disk is not None and breaker_state == CLOSED
+            stats = CacheStats(
                 hits=self._hits,
                 misses=self._misses,
                 memory_hits=self._memory_hits,
@@ -226,6 +437,12 @@ class ResultCache:
                 evictions=self._evictions,
                 disk_corruptions=self._disk_corruptions,
                 memory_entries=len(self._memory),
-                disk_entries=self._disk.entry_count() if self._disk else 0,
-                disk_bytes=self._disk.total_bytes() if self._disk else 0,
+                disk_entries=self._disk.entry_count() if disk_ok else 0,
+                disk_bytes=self._disk.total_bytes() if disk_ok else 0,
+                disk_errors=self._disk_errors,
+                disk_degraded=self._disk is not None and breaker_state != CLOSED,
+                breaker_state=breaker_state,
             )
+            if self._disk is not None:
+                self._disk_errors += self._disk.pop_errors()
+            return stats

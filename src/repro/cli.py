@@ -24,7 +24,13 @@ first and polishes with adjacent swaps — see
 consensus cache (:mod:`repro.cache`): ``/aggregate`` and ``/fairness`` answer
 repeated queries from a memory-LRU-over-disk cache, ``/stats`` reports the
 hit/miss/eviction counters.  ``aggregate --cache-dir`` reuses the same disk
-tier across CLI invocations.  See ``docs/serving.md``.
+tier across CLI invocations.  The serving stack degrades instead of dying:
+``--max-inflight``/``--queue-depth`` bound concurrent compute (excess is shed
+as 503 + ``Retry-After``), ``--read-timeout`` bounds slow clients (408),
+``--drain-timeout`` bounds the graceful drain on SIGTERM, a disk circuit
+breaker turns persistent cache-dir faults into memory-only service, and
+``/healthz``/``/readyz`` answer liveness/readiness probes.  See
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -120,6 +126,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shut down cleanly after this many requests (smoke testing)",
     )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help=(
+            "admission-control budget: concurrent compute requests beyond "
+            "this (plus --queue-depth waiters) are shed as 503 (default: 64)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="requests allowed to wait for an in-flight slot (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--read-timeout",
+        type=float,
+        default=10.0,
+        help=(
+            "seconds granted to each read phase (request line, headers, "
+            "body) before answering 408 (default: 10)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help=(
+            "seconds granted to in-flight requests during shutdown before "
+            "they are cancelled (default: 5)"
+        ),
+    )
     return parser
 
 
@@ -199,6 +238,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_requests=args.max_requests,
         on_ready=_announce,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        read_timeout=args.read_timeout,
+        drain_timeout=args.drain_timeout,
     )
 
 

@@ -1,0 +1,273 @@
+"""Disk-fault suite: injected filesystem failures against the result cache.
+
+Every scenario runs on the :class:`tests.cache.faults.FlakyFilesystem`
+schedule and injected clocks — no real sleeps, no monkeypatching — and
+asserts the degrade-don't-die contract: the cache absorbs the fault, counts
+it, and keeps serving bit-identical results from memory.
+"""
+
+from __future__ import annotations
+
+from repro.cache.resilience import CircuitBreaker, RetryPolicy
+from repro.cache.service import ConsensusCacheService, compute_consensus_payload
+from repro.cache.store import DiskTier, ResultCache
+from tests.cache.faults import FlakyFilesystem, ManualClock, eacces, enospc
+
+
+def payload(tag: int) -> dict:
+    return {"tag": tag, "consensus": list(range(tag, tag + 3))}
+
+
+def instant_retry(attempts: int = 3) -> RetryPolicy:
+    return RetryPolicy(attempts=attempts, sleep=lambda _: None)
+
+
+def faulty_cache(tmp_path, fs, clock=None, threshold=3, recovery=30.0, capacity=8):
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        recovery_after=recovery,
+        clock=clock if clock is not None else ManualClock(),
+    )
+    return ResultCache(
+        memory_capacity=capacity,
+        directory=tmp_path,
+        retry=instant_retry(),
+        breaker=breaker,
+        fs=fs,
+    )
+
+
+class TestRetryOnTransientFaults:
+    def test_transient_enospc_on_store_is_retried_away(self, tmp_path):
+        fs = FlakyFilesystem()
+        fs.fail_next("write_text", enospc(), times=1)
+        cache = faulty_cache(tmp_path, fs)
+        cache.put("a", payload(1))
+        stats = cache.stats()
+        assert stats.disk_errors == 0  # the retry absorbed the fault
+        assert stats.disk_entries == 1
+        assert ResultCache(directory=tmp_path).get("a") == payload(1)
+
+    def test_torn_write_is_retried_and_leaves_a_clean_blob(self, tmp_path):
+        fs = FlakyFilesystem()
+        fs.torn_write(times=1)
+        cache = faulty_cache(tmp_path, fs)
+        cache.put("a", payload(1))
+        assert cache.stats().disk_errors == 0
+        assert ResultCache(directory=tmp_path).get("a") == payload(1)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_transient_read_fault_is_retried_away(self, tmp_path):
+        fs = FlakyFilesystem()
+        cache = faulty_cache(tmp_path, fs, capacity=1)
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))  # evict a from memory
+        fs.fail_next("read_text", enospc(), times=1)
+        assert cache.get("a") == payload(1)  # second attempt succeeds
+        stats = cache.stats()
+        assert stats.disk_hits == 1
+        assert stats.disk_errors == 0
+
+
+class TestEnospcOnPut:
+    def test_persistent_enospc_degrades_to_memory_only(self, tmp_path):
+        fs = FlakyFilesystem()
+        fs.fail_always("write_text", enospc())
+        clock = ManualClock()
+        cache = faulty_cache(tmp_path, fs, clock=clock, threshold=3)
+
+        for tag in range(3):
+            cache.put(f"k{tag}", payload(tag))  # never raises
+            assert cache.get(f"k{tag}") == payload(tag)  # served from memory
+
+        stats = cache.stats()
+        assert stats.disk_errors == 3
+        assert stats.breaker_state == "open"
+        assert stats.disk_degraded is True
+        assert stats.memory_entries == 3
+
+        # With the breaker open the disk tier is not even attempted.
+        writes_so_far = fs.calls["write_text"]
+        cache.put("k3", payload(3))
+        assert fs.calls["write_text"] == writes_so_far
+        assert cache.get("k3") == payload(3)
+
+    def test_clean_misses_do_not_mask_persistent_write_failures(self, tmp_path):
+        # The serve path interleaves a cold-miss get() (a clean FNF, which is
+        # neutral evidence) with every failing put(); the breaker must still
+        # open after `threshold` failed stores.
+        fs = FlakyFilesystem()
+        fs.fail_always("write_text", enospc())
+        cache = faulty_cache(tmp_path, fs, threshold=3)
+        for tag in range(3):
+            assert cache.get(f"key{tag}") is None
+            cache.put(f"key{tag}", payload(tag))
+        stats = cache.stats()
+        assert stats.breaker_state == "open"
+        assert stats.disk_errors == 3
+
+    def test_half_open_probe_recovers_the_disk_tier(self, tmp_path):
+        fs = FlakyFilesystem()
+        fs.fail_always("write_text", enospc())
+        clock = ManualClock()
+        cache = faulty_cache(tmp_path, fs, clock=clock, threshold=2, recovery=30.0)
+
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))
+        assert cache.stats().breaker_state == "open"
+
+        # Before the recovery window the breaker stays open even if the disk
+        # has healed underneath.
+        fs.heal("write_text")
+        cache.put("c", payload(3))
+        assert cache.stats().breaker_state == "open"
+        assert not (tmp_path / "c.json").exists()
+
+        # Past the window the next put is the half-open probe; success closes
+        # the breaker and the disk tier is live again.
+        clock.advance(30.0)
+        cache.put("d", payload(4))
+        stats = cache.stats()
+        assert stats.breaker_state == "closed"
+        assert stats.disk_degraded is False
+        assert (tmp_path / "d.json").exists()
+        cache.put("e", payload(5))
+        assert (tmp_path / "e.json").exists()
+
+    def test_half_open_probe_failure_reopens(self, tmp_path):
+        fs = FlakyFilesystem()
+        fs.fail_always("write_text", enospc())
+        clock = ManualClock()
+        cache = faulty_cache(tmp_path, fs, clock=clock, threshold=1, recovery=10.0)
+        cache.put("a", payload(1))
+        assert cache.stats().breaker_state == "open"
+        clock.advance(10.0)
+        cache.put("b", payload(2))  # probe fails: still broken
+        stats = cache.stats()
+        assert stats.breaker_state == "open"
+        assert stats.disk_errors == 2
+
+
+class TestLoadHardening:
+    def test_permission_denied_load_is_a_quarantined_miss(self, tmp_path):
+        fs = FlakyFilesystem()
+        cache = faulty_cache(tmp_path, fs, capacity=1)
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))  # evict a
+        fs.fail_always("read_text", eacces())
+        assert cache.get("a") is None  # degraded miss, no raise
+        stats = cache.stats()
+        assert stats.disk_errors == 1
+        assert stats.misses == 1
+        assert (tmp_path / "a.json").exists()  # not deleted: we may not be able to
+
+    def test_repeated_load_failures_open_the_breaker(self, tmp_path):
+        fs = FlakyFilesystem()
+        cache = faulty_cache(tmp_path, fs, threshold=2, capacity=1)
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))
+        fs.fail_always("read_text", eacces())
+        assert cache.get("a") is None
+        assert cache.get("a") is None
+        assert cache.stats().breaker_state == "open"
+        reads_so_far = fs.calls["read_text"]
+        assert cache.get("a") is None  # breaker open: disk not attempted
+        assert fs.calls["read_text"] == reads_so_far
+
+    def test_direct_disk_tier_load_never_raises(self, tmp_path):
+        fs = FlakyFilesystem()
+        tier = DiskTier(tmp_path, retry=instant_retry(), fs=fs)
+        tier.store("x", payload(1))
+        fs.fail_always("read_text", eacces())
+        assert tier.load("x") is None
+        assert tier.pop_errors() == 1
+        assert tier.pop_corruptions() == 0
+
+
+class TestStatsRaceAndSweep:
+    def test_total_bytes_skips_files_unlinked_between_glob_and_stat(self, tmp_path):
+        fs = FlakyFilesystem()
+        tier = DiskTier(tmp_path, retry=instant_retry(), fs=fs)
+        tier.store("a", payload(1))
+        tier.store("b", payload(2))
+        fs.fail_next("stat", FileNotFoundError("unlinked concurrently"))
+        size = tier.total_bytes()
+        assert size == (tmp_path / "b.json").stat().st_size  # a was skipped
+        assert tier.entry_count() == 2
+
+    def test_listing_failure_degrades_to_zero_not_a_crash(self, tmp_path):
+        fs = FlakyFilesystem()
+        tier = DiskTier(tmp_path, retry=instant_retry(), fs=fs)
+        tier.store("a", payload(1))
+        fs.fail_always("glob", eacces())
+        assert tier.entry_count() == 0
+        assert tier.total_bytes() == 0
+        assert tier.pop_errors() == 2
+
+    def test_stale_tmp_files_are_swept_on_startup(self, tmp_path):
+        (tmp_path / "dead.json.tmp").write_text('{"partial": ')
+        (tmp_path / "live.json").write_text('{"tag": 9}')
+        tier = DiskTier(tmp_path, retry=instant_retry())
+        assert not (tmp_path / "dead.json.tmp").exists()
+        assert tier.load("live") == {"tag": 9}
+
+    def test_stats_endpoint_path_survives_the_race(self, tmp_path):
+        fs = FlakyFilesystem()
+        cache = faulty_cache(tmp_path, fs)
+        cache.put("a", payload(1))
+        fs.fail_next("stat", FileNotFoundError("gone"))
+        stats = cache.stats()  # must not raise
+        assert stats.disk_entries == 1
+        assert stats.disk_bytes == 0  # the only blob was mid-unlink
+
+
+class TestServiceBitIdentityUnderFaults:
+    def test_responses_stay_bit_identical_with_a_dead_disk(
+        self, tmp_path, tiny_table, tiny_rankings
+    ):
+        cold = compute_consensus_payload(tiny_rankings, tiny_table, delta=0.35)
+        fs = FlakyFilesystem()
+        fs.fail_always("write_text", enospc())
+        service = ConsensusCacheService(faulty_cache(tmp_path, fs, threshold=1))
+
+        first = service.aggregate(tiny_rankings, tiny_table, delta=0.35)
+        second = service.aggregate(tiny_rankings, tiny_table, delta=0.35)
+        assert first["cached"] is False
+        assert second["cached"] is True  # memory tier still serves
+        assert first["result"] == second["result"] == cold
+
+        stats = service.stats()
+        assert stats["disk_degraded"] is True
+        assert stats["breaker_state"] == "open"
+        assert stats["disk_errors"] >= 1
+        health = service.health()
+        assert health["disk_degraded"] is True
+
+    def test_recovery_round_trips_through_the_disk(
+        self, tmp_path, tiny_table, tiny_rankings
+    ):
+        cold = compute_consensus_payload(tiny_rankings, tiny_table, delta=0.35)
+        fs = FlakyFilesystem()
+        fs.fail_always("write_text", enospc())
+        clock = ManualClock()
+        cache = faulty_cache(tmp_path, fs, clock=clock, threshold=1, recovery=5.0)
+        service = ConsensusCacheService(cache)
+
+        service.aggregate(tiny_rankings, tiny_table, delta=0.35)
+        assert service.stats()["breaker_state"] == "open"
+
+        fs.heal("write_text")
+        clock.advance(5.0)
+        response = service.aggregate(tiny_rankings, tiny_table, delta=0.2)
+        assert response["cached"] is False
+        assert service.stats()["breaker_state"] == "closed"
+
+        # A fresh process (new cache over the same directory) replays the
+        # recovered entry bit-identically from disk.
+        reopened = ConsensusCacheService(ResultCache(directory=tmp_path))
+        replayed = reopened.aggregate(tiny_rankings, tiny_table, delta=0.2)
+        assert replayed["cached"] is True
+        assert replayed["result"] == compute_consensus_payload(
+            tiny_rankings, tiny_table, delta=0.2
+        )
+        assert cold == compute_consensus_payload(tiny_rankings, tiny_table, delta=0.35)

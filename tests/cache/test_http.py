@@ -134,7 +134,9 @@ class TestErrors:
 
         (status, payload), _ = with_server(scenario)
         assert status == 404
-        assert payload["paths"] == ["/aggregate", "/fairness", "/stats"]
+        assert payload["paths"] == [
+            "/aggregate", "/fairness", "/healthz", "/readyz", "/stats",
+        ]
 
     def test_wrong_verb_is_405(self):
         async def scenario(host, port):

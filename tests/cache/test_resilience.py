@@ -1,0 +1,270 @@
+"""Unit tests for the resilience primitives (injected clocks, no sleeps)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cache.resilience import (
+    AdmissionController,
+    AsyncClock,
+    CircuitBreaker,
+    LatencyRecorder,
+    RetryPolicy,
+    ServerLimits,
+)
+from tests.cache.faults import ManualClock, enospc
+
+
+class TestRetryPolicy:
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, sleep=slept.append)
+        assert policy.call(lambda: 42) == 42
+        assert slept == []
+
+    def test_transient_failure_recovers_with_backoff(self):
+        slept = []
+        attempts = iter([enospc(), enospc(), "ok"])
+        policy = RetryPolicy(attempts=3, base_delay=0.01, multiplier=2.0, sleep=slept.append)
+
+        def operation():
+            outcome = next(attempts)
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        assert policy.call(operation) == "ok"
+        assert slept == [0.01, 0.02]
+
+    def test_persistent_failure_raises_after_budget(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, sleep=slept.append)
+        calls = []
+
+        def operation():
+            calls.append(1)
+            raise enospc()
+
+        with pytest.raises(OSError):
+            policy.call(operation)
+        assert len(calls) == 3
+        assert len(slept) == 2
+
+    def test_file_not_found_is_never_retried(self):
+        calls = []
+
+        def operation():
+            calls.append(1)
+            raise FileNotFoundError("gone")
+
+        policy = RetryPolicy(attempts=5, sleep=lambda _: pytest.fail("slept"))
+        with pytest.raises(FileNotFoundError):
+            policy.call(operation)
+        assert len(calls) == 1
+
+    def test_non_retryable_exception_passes_through(self):
+        policy = RetryPolicy(attempts=3, sleep=lambda _: pytest.fail("slept"))
+        with pytest.raises(KeyError):
+            policy.call(lambda: (_ for _ in ()).throw(KeyError("x")))
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=3, recovery_after=30.0, clock=clock)
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.open_count == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=ManualClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_recovers(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_after=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # probe already in flight
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_after=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.open_count == 2
+        assert not breaker.allow()  # the recovery clock restarted
+        clock.advance(10.0)
+        assert breaker.allow()
+
+    def test_neutral_outcome_does_not_reset_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=ManualClock())
+        breaker.record_failure()
+        breaker.record_neutral()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_inconclusive_half_open_probe_releases_the_probe_slot(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_after=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.state == "half-open"
+        breaker.record_neutral()  # the probe never exercised the guarded path
+        assert breaker.state == "open"
+        assert breaker.open_count == 1  # not a re-open
+        assert breaker.allow()  # the next caller probes immediately
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestAdmissionController:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_admits_below_budget(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=2, queue_depth=0)
+            assert await admission.acquire()
+            assert await admission.acquire()
+            assert admission.active == 2
+            return admission
+
+        admission = self.run(scenario())
+        assert admission.shed == 0
+
+    def test_sheds_beyond_budget_and_queue(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, queue_depth=0)
+            assert await admission.acquire()
+            assert not await admission.acquire()  # no queue: shed immediately
+            assert admission.shed == 1
+            admission.release()
+            assert await admission.acquire()  # slot free again
+            return admission.snapshot()
+
+        snapshot = self.run(scenario())
+        assert snapshot["shed"] == 1
+        assert snapshot["admitted"] == 2
+
+    def test_queue_hands_the_slot_to_the_oldest_waiter(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, queue_depth=2)
+            assert await admission.acquire()
+            first = asyncio.create_task(admission.acquire())
+            second = asyncio.create_task(admission.acquire())
+            await asyncio.sleep(0)  # park both waiters
+            assert admission.queued == 2
+            assert not await admission.acquire()  # queue full: shed
+            admission.release()
+            assert await first
+            assert not second.done()  # only one slot was freed
+            admission.release()
+            assert await second
+            admission.release()
+            return admission.snapshot()
+
+        snapshot = self.run(scenario())
+        assert snapshot["shed"] == 1
+        assert snapshot["inflight"] == 0
+
+    def test_cancelled_waiter_does_not_leak_the_slot(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, queue_depth=1)
+            assert await admission.acquire()
+            waiter = asyncio.create_task(admission.acquire())
+            await asyncio.sleep(0)
+            waiter.cancel()
+            await asyncio.gather(waiter, return_exceptions=True)
+            admission.release()
+            assert admission.active == 0  # the cancelled waiter was skipped
+            assert await admission.acquire()
+            return admission
+
+        admission = self.run(scenario())
+        assert admission.active == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            AdmissionController(queue_depth=-1)
+
+
+class TestLatencyRecorder:
+    def test_empty_snapshot_is_zeroed(self):
+        snapshot = LatencyRecorder().snapshot()
+        assert snapshot == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0,
+        }
+
+    def test_percentiles_over_a_known_sample(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):  # 1ms .. 100ms
+            recorder.record(value / 1000.0)
+        snapshot = recorder.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p50_ms"] == pytest.approx(51.0)
+        assert snapshot["p90_ms"] == pytest.approx(90.0, abs=1.0)
+        assert snapshot["p99_ms"] == pytest.approx(99.0, abs=1.0)
+        assert snapshot["mean_ms"] == pytest.approx(50.5)
+
+    def test_window_bounds_memory(self):
+        recorder = LatencyRecorder(window=10)
+        for value in range(100):
+            recorder.record(float(value))
+        snapshot = recorder.snapshot()
+        assert snapshot["count"] == 100  # lifetime count survives the window
+        assert snapshot["p50_ms"] >= 90_000  # only the last 10 samples remain
+
+
+class TestAsyncClockAndLimits:
+    def test_async_clock_wait_for_passes_result_through(self):
+        async def scenario():
+            clock = AsyncClock()
+            assert clock.monotonic() > 0
+
+            async def quick():
+                return "done"
+
+            assert await clock.wait_for(quick(), timeout=5.0) == "done"
+            await clock.sleep(0)
+
+        asyncio.run(scenario())
+
+    def test_server_limits_defaults(self):
+        limits = ServerLimits()
+        assert limits.read_timeout == 10.0
+        assert limits.max_header_count == 100
+        assert limits.max_header_bytes == 8192
+        assert limits.max_body_bytes == 64 * 1024 * 1024

@@ -48,6 +48,10 @@ class TestParser:
         assert args.cache_dir is None
         assert args.memory_capacity == 256
         assert args.max_requests is None
+        assert args.max_inflight == 64
+        assert args.queue_depth == 16
+        assert args.read_timeout == 10.0
+        assert args.drain_timeout == 5.0
 
 
 class TestCommands:
@@ -203,6 +207,50 @@ class TestCommands:
         assert aggregate["cached"] is False
         assert fairness["cached"] is True  # same cache entry as /aggregate
         assert stats["cache"]["hits"] == 1
+
+    def test_serve_drains_cleanly_on_sigterm(self, tmp_path):
+        """SIGTERM flips readiness and exits 0 within the drain timeout."""
+        import json
+        import re
+        import signal
+        import subprocess
+        import sys
+        import urllib.error
+        import urllib.request
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--drain-timeout",
+                "5",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            base = f"http://{match.group(1)}:{match.group(2)}"
+            with urllib.request.urlopen(f"{base}/readyz", timeout=30) as response:
+                ready = json.loads(response.read())
+            assert ready["ready"] is True
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+            with pytest.raises(urllib.error.URLError):
+                urllib.request.urlopen(f"{base}/readyz", timeout=5)
+        finally:
+            process.stdout.close()
+            if process.poll() is None:
+                process.kill()
+                process.wait()
 
     def test_aggregate_strategy_requires_seeded_method(
         self, tmp_path, tiny_table, tiny_rankings
