@@ -16,10 +16,27 @@ A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` — no
     (per-group FPR row, parity scores, PD loss), so a ``/fairness`` call
     after ``/aggregate`` for the same query is a cache hit.
 
+``POST /update``
+    Streaming profile mutation: ``{"add": [...], "remove": [...]}`` where
+    each entry is ``{"ranking": [names or ids best-to-worst], "weight",
+    "label"}`` (or a bare ranking list).  The first call must carry the
+    candidate table (inline ``candidates`` or ``candidates_csv``) plus the
+    optional ``method``/``strategy``/``delta`` configuration; it initialises
+    the server's :class:`~repro.streaming.service.StreamingConsensusService`
+    sharing the batch cache.  Every update patches the profile matrices
+    incrementally and invalidates the cache entries served for the old
+    profile, keyed on the new profile version.
+
+``GET /consensus``
+    The streaming profile's consensus — served under the exact batch cache
+    key, so it is bit-identical to ``POST /aggregate`` on the materialized
+    profile and a cache hit when unchanged.
+
 ``GET /stats``
-    Cache counters (hits/misses/evictions/sizes, disk-breaker state), server
-    request/shed/timeout counters, latency percentiles, and the servable
-    method registry.
+    Cache counters (hits/misses/evictions/sizes, disk-breaker state,
+    invalidations and the streaming profile version), server
+    request/shed/timeout counters, latency percentiles, the streaming
+    profile state, and the servable method registry.
 
 ``GET /healthz`` / ``GET /readyz``
     Liveness (200 while the process serves, even disk-degraded) and
@@ -69,6 +86,9 @@ from repro.io.serialization import (
     ranking_set_from_dict,
     to_jsonable,
 )
+from repro.streaming.engine import StreamingConsensusEngine
+from repro.streaming.replay import StreamEvent, resolve_order
+from repro.streaming.service import StreamingConsensusService
 
 __all__ = ["ConsensusHTTPServer", "run_server"]
 
@@ -172,6 +192,7 @@ class ConsensusHTTPServer:
         self._drain_cancelled = 0
         self._draining = False
         self._connections: set[asyncio.Task] = set()
+        self._streaming: StreamingConsensusService | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
         self.address: tuple[str, int] | None = None
@@ -443,10 +464,108 @@ class ConsensusHTTPServer:
             "fairness": result["fairness"],
         }
 
+    def _streaming_service(self, body: dict) -> StreamingConsensusService:
+        """Return the streaming service, initialising it on the first /update.
+
+        The first call must carry the candidate table; the engine is bound to
+        that universe and configuration for the server's lifetime, and later
+        calls must not contradict it.  The streaming service shares the batch
+        cache, so streamed and batch results for one profile share entries.
+        """
+        if self._streaming is None:
+            if "candidates_csv" in body:
+                try:
+                    table = read_candidate_table(body["candidates_csv"])
+                except OSError as exc:
+                    raise _BadRequest(f"cannot read CSV input: {exc}") from exc
+            elif "candidates" in body:
+                table = candidate_table_from_dict(body["candidates"])
+            else:
+                raise _BadRequest(
+                    "the first /update must carry the candidate table "
+                    "('candidates' inline or 'candidates_csv')"
+                )
+            engine = StreamingConsensusEngine(
+                table,
+                method=str(body.get("method", "fair-borda")),
+                strategy=body.get("strategy"),
+                delta=body.get("delta", 0.1),
+            )
+            self._streaming = StreamingConsensusService(
+                engine, cache=self.service.cache
+            )
+            return self._streaming
+        engine = self._streaming.engine
+        if "method" in body and str(body["method"]) != engine.method:
+            # The registry canonicalises spellings before comparing.
+            from repro.fair.registry import canonical_fair_method_name
+
+            if canonical_fair_method_name(str(body["method"])) != engine.method:
+                raise _BadRequest(
+                    f"the streaming profile is configured for method "
+                    f"{engine.method!r}; restart the server to change it"
+                )
+        return self._streaming
+
+    @staticmethod
+    def _streaming_events(entries: object, table, field: str) -> list[StreamEvent]:
+        """Parse one ``add``/``remove`` list from an ``/update`` body."""
+        if not isinstance(entries, list):
+            raise _BadRequest(f"'{field}' must be a list of rankings")
+        events: list[StreamEvent] = []
+        for entry in entries:
+            if isinstance(entry, list):
+                entry = {"ranking": entry}
+            if not isinstance(entry, dict) or "ranking" not in entry:
+                raise _BadRequest(
+                    f"each '{field}' entry must be a ranking list or an object "
+                    "with a 'ranking' field"
+                )
+            ranking = entry["ranking"]
+            if not isinstance(ranking, list) or not ranking:
+                raise _BadRequest(f"'{field}' rankings must be non-empty lists")
+            label = entry.get("label")
+            if label is not None and not isinstance(label, str):
+                raise _BadRequest(f"'{field}' labels must be strings")
+            try:
+                weight = float(entry.get("weight", 1.0))
+            except (TypeError, ValueError) as exc:
+                raise _BadRequest(f"'{field}' weights must be numbers") from exc
+            events.append(
+                StreamEvent(
+                    op="add" if field == "add" else "remove",
+                    order=tuple(resolve_order(ranking, table)),
+                    weight=weight,
+                    label=label,
+                )
+            )
+        return events
+
+    async def _handle_update(self, body: dict) -> dict:
+        """``POST /update``: apply one add/remove batch to the streaming profile."""
+        streaming = self._streaming_service(body)
+        table = streaming.engine.table
+        add = self._streaming_events(body.get("add", []), table, "add")
+        remove = self._streaming_events(body.get("remove", []), table, "remove")
+        operation = functools.partial(streaming.update, add=add, remove=remove)
+        return await asyncio.get_running_loop().run_in_executor(None, operation)
+
+    async def _handle_consensus(self, body: dict) -> dict:
+        """``GET /consensus``: the streaming profile's cached consensus."""
+        if self._streaming is None:
+            raise _BadRequest(
+                "no streaming profile: POST /update with rankings first"
+            )
+        operation = self._streaming.aggregate
+        return await asyncio.get_running_loop().run_in_executor(None, operation)
+
     async def _handle_stats(self, body: dict) -> dict:
         """``GET /stats``: cache, admission, latency, and registry counters."""
         return {
             "cache": self.service.stats(),
+            "streaming": (
+                self._streaming.describe() if self._streaming is not None else None
+            ),
             "server": {
                 "requests": self._requests,
                 "endpoints": dict(sorted(self._endpoint_counts.items())),
@@ -491,6 +610,8 @@ _REASONS = {
 _ROUTES: dict[str, tuple[str, Callable, bool]] = {
     "/aggregate": ("POST", ConsensusHTTPServer._handle_aggregate, True),
     "/fairness": ("POST", ConsensusHTTPServer._handle_fairness, True),
+    "/update": ("POST", ConsensusHTTPServer._handle_update, True),
+    "/consensus": ("GET", ConsensusHTTPServer._handle_consensus, True),
     "/stats": ("GET", ConsensusHTTPServer._handle_stats, False),
     "/healthz": ("GET", ConsensusHTTPServer._handle_healthz, False),
     "/readyz": ("GET", ConsensusHTTPServer._handle_readyz, False),

@@ -37,6 +37,7 @@ import json
 import os
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -95,7 +96,11 @@ class CacheStats:
     not closed — the cache is serving memory-only — and ``breaker_state``
     reports the breaker verbatim (``closed``/``open``/``half-open``).
     ``memory_entries``/``disk_entries``/``disk_bytes`` are the current sizes,
-    not lifetime counters.
+    not lifetime counters.  ``invalidations`` counts entries removed because
+    their profile changed (explicit :meth:`ResultCache.invalidate` calls, as
+    the streaming engine issues after every update) — distinct from
+    ``evictions``, which are capacity-driven; ``profile_version`` echoes the
+    version recorded by the most recent invalidation (0 before any).
     """
 
     hits: int = 0
@@ -110,6 +115,8 @@ class CacheStats:
     disk_errors: int = 0
     disk_degraded: bool = False
     breaker_state: str = CLOSED
+    invalidations: int = 0
+    profile_version: int = 0
 
     @property
     def requests(self) -> int:
@@ -256,6 +263,23 @@ class DiskTier:
                 pass
             raise
 
+    def delete(self, digest: str) -> bool:
+        """Remove the blob for ``digest``; returns whether one was present.
+
+        A missing blob is a clean no-op.  A persistent ``OSError`` after
+        retries is absorbed into the error counter (the caller's breaker
+        logic picks it up via :meth:`pop_errors`) and reported as ``False``.
+        """
+        path = self.path_for(digest)
+        try:
+            self._retry.call(functools.partial(self._fs.unlink, path))
+        except FileNotFoundError:
+            return False
+        except OSError:
+            self._errors += 1
+            return False
+        return True
+
     def entry_count(self) -> int:
         """Number of blobs currently on disk (0 when the listing itself fails)."""
         try:
@@ -335,6 +359,8 @@ class ResultCache:
         self._evictions = 0
         self._disk_corruptions = 0
         self._disk_errors = 0
+        self._invalidations = 0
+        self._profile_version = 0
         if self._disk is not None:
             # Errors during the construction-time temp-file sweep count too.
             self._disk_errors += self._disk.pop_errors()
@@ -424,6 +450,37 @@ class ResultCache:
             else:
                 self._absorb_disk_outcome()
 
+    def invalidate(
+        self, digests: Iterable[str], profile_version: int | None = None
+    ) -> int:
+        """Remove the given entries from both tiers because their inputs changed.
+
+        This is the explicit invalidation hook the streaming engine calls
+        after every profile update: stale consensus payloads are *removed*
+        (counted in ``invalidations``, distinct from capacity ``evictions``),
+        and ``profile_version`` — when given — is recorded so ``/stats``
+        dashboards can tell which profile generation the cache is serving.
+        Returns the number of entries that were actually present in at least
+        one tier.  Disk deletions honour the circuit breaker: while it is
+        open only the memory tier is purged (the stale blob is unreachable
+        anyway — reads skip the disk while degraded, and the digest's slot is
+        overwritten on the next store).
+        """
+        removed = 0
+        with self._lock:
+            for digest in set(digests):
+                present = self._memory.pop(digest, None) is not None
+                if self._disk is not None and self._breaker.allow():
+                    deleted = self._disk.delete(digest)
+                    self._absorb_disk_outcome(evidence=deleted)
+                    present = present or deleted
+                if present:
+                    removed += 1
+                    self._invalidations += 1
+            if profile_version is not None:
+                self._profile_version = profile_version
+        return removed
+
     def stats(self) -> CacheStats:
         """Return an immutable snapshot of the counters and current sizes."""
         with self._lock:
@@ -442,6 +499,8 @@ class ResultCache:
                 disk_errors=self._disk_errors,
                 disk_degraded=self._disk is not None and breaker_state != CLOSED,
                 breaker_state=breaker_state,
+                invalidations=self._invalidations,
+                profile_version=self._profile_version,
             )
             if self._disk is not None:
                 self._disk_errors += self._disk.pop_errors()

@@ -8,6 +8,7 @@ Usage::
     mani-rank run figure5 --output out.json --quiet
     mani-rank aggregate rankings.csv candidates.csv --method fair-borda --delta 0.1
     mani-rank aggregate rankings.csv candidates.csv --strategy insertion
+    mani-rank stream events.jsonl candidates.csv --verify
     mani-rank serve --port 8340 --cache-dir ~/.cache/mani-rank
 
 The ``aggregate`` subcommand runs a fair consensus method on user-supplied CSV
@@ -19,6 +20,13 @@ additionally applies fairness-filtered block moves (never recovering less
 objective than ``adjacent-swap``), and ``combined`` explores block moves
 first and polishes with adjacent swaps — see
 :mod:`repro.aggregation.search` and :mod:`repro.fair.local_repair`.
+
+``stream`` replays a JSONL event log (one ``add``/``remove`` per line)
+through the incremental :class:`~repro.streaming.engine.StreamingConsensusEngine`
+— matrices are patched per event instead of rebuilt — and prints the final
+consensus; ``--verify`` additionally recomputes it from scratch and fails if
+the two payloads are not bit-identical, and ``--dump-profile`` writes the
+materialized profile as a rankings CSV for cross-checking with ``aggregate``.
 
 ``serve`` starts the asyncio HTTP front-end over the content-addressed
 consensus cache (:mod:`repro.cache`): ``/aggregate`` and ``/fairness`` answer
@@ -100,6 +108,43 @@ def build_parser() -> argparse.ArgumentParser:
             "reuse the consensus disk cache at this directory: repeated "
             "queries replay the stored result instead of recomputing"
         ),
+    )
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="replay a JSONL add/remove event log through the streaming engine",
+    )
+    stream_parser.add_argument(
+        "events_jsonl", help="JSONL event log (one add/remove event per line)"
+    )
+    stream_parser.add_argument("candidates_csv", help="candidate table CSV (see repro.io)")
+    stream_parser.add_argument(
+        "--method", default="fair-borda", help="fair method name or paper label (A1-B4)"
+    )
+    stream_parser.add_argument(
+        "--delta", type=float, default=0.1, help="MANI-Rank fairness threshold"
+    )
+    stream_parser.add_argument(
+        "--strategy",
+        default=None,
+        choices=available_strategies(),
+        help="fairness-preserving local-search repair strategy",
+    )
+    stream_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "recompute the consensus from a from-scratch rebuild of the final "
+            "profile and fail unless it is bit-identical to the streamed result"
+        ),
+    )
+    stream_parser.add_argument(
+        "--dump-profile",
+        default=None,
+        help="write the final materialized profile to this rankings CSV",
+    )
+    stream_parser.add_argument(
+        "--output", default=None, help="write the consensus payload to this JSON file"
     )
 
     serve_parser = subparsers.add_parser(
@@ -219,6 +264,57 @@ def _command_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    from repro.core.candidates import CandidateTable
+    from repro.io.serialization import dump_json
+    from repro.streaming.engine import StreamingConsensusEngine
+    from repro.streaming.replay import apply_events, read_events
+
+    table = read_candidate_table(args.candidates_csv)
+    events = read_events(args.events_jsonl, table)
+    engine = StreamingConsensusEngine(
+        table, method=args.method, strategy=args.strategy, delta=args.delta
+    )
+    apply_events(engine, events)
+    payload = engine.consensus()
+    n_adds = sum(1 for event in events if event.op == "add")
+    fingerprint = engine.profile_fingerprint or ""
+    print(
+        f"replayed {len(events)} events ({n_adds} adds, "
+        f"{len(events) - n_adds} removes)"
+    )
+    print(
+        f"profile: {engine.n_rankings} rankings, version "
+        f"{engine.profile_version}, fingerprint {fingerprint[:12]}"
+    )
+    print(f"method: {payload['method_label']}   delta: {args.delta}")
+    print("consensus (best to worst):")
+    print("  " + ", ".join(payload["consensus"]["names"]))
+    print(f"PD loss: {payload['pd_loss']:.4f}")
+    for entity, score in payload["parity"].items():
+        label = "IRP" if entity == CandidateTable.INTERSECTION else f"ARP {entity}"
+        print(f"{label}: {score:.4f}")
+    if args.verify:
+        reference = engine.rebuild_reference()
+        if payload != reference:
+            print(
+                "verify: FAILED — streamed consensus differs from the "
+                "from-scratch rebuild reference",
+                file=sys.stderr,
+            )
+            return 1
+        print("verify: bit-identical to the from-scratch rebuild reference")
+    if args.dump_profile:
+        from repro.io.csv_io import write_ranking_set
+
+        write_ranking_set(engine.rankings, table, args.dump_profile)
+        print(f"profile written to {args.dump_profile}")
+    if args.output:
+        dump_json(payload, args.output)
+        print(f"consensus payload written to {args.output}")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.cache.http import run_server
     from repro.cache.service import ConsensusCacheService
@@ -255,6 +351,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "aggregate":
         return _command_aggregate(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "serve":
         return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

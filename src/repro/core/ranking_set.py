@@ -376,6 +376,178 @@ class RankingSet:
         return self.position_matrix().mean(axis=0)
 
     # ------------------------------------------------------------------
+    # incremental (streaming) updates
+    # ------------------------------------------------------------------
+    def _precedence_delta(
+        self, position_rows: np.ndarray, row_weights: np.ndarray
+    ) -> np.ndarray:
+        """Summed weighted precedence contribution of the given position rows.
+
+        Each ranking is a rank-1-style contribution to the precedence matrix:
+        ``precedes[a, b] = positions[b] < positions[a]`` scaled by its weight.
+        Chunked exactly like :meth:`precedence_matrix` so one call stays
+        within :data:`_CHUNK_BYTE_BUDGET` bytes of boolean workspace.
+        """
+        n = self._n
+        delta = np.zeros((n, n), dtype=float)
+        rows_per_chunk = max(1, self._CHUNK_BYTE_BUDGET // max(1, n * n))
+        for start in range(0, position_rows.shape[0], rows_per_chunk):
+            block = position_rows[start : start + rows_per_chunk]
+            precedes = block[:, np.newaxis, :] < block[:, :, np.newaxis]
+            delta += np.einsum(
+                "r,rab->ab", row_weights[start : start + block.shape[0]], precedes
+            )
+        np.fill_diagonal(delta, 0.0)
+        return delta
+
+    def _patched_precedence(
+        self,
+        cache: np.ndarray | None,
+        position_rows: np.ndarray,
+        row_weights: np.ndarray,
+        sign: float,
+    ) -> np.ndarray | None:
+        """Patch a cached precedence matrix by +/- the given rows' contribution.
+
+        Returns ``None`` when the cache was never materialised (the child set
+        then computes lazily as usual).  The patch is bit-identical to a
+        from-scratch recomputation whenever every weight's contributions are
+        exactly representable and accumulate without rounding — always true
+        for unweighted sets (integer-valued entries) and for integer or
+        dyadic-rational weights.
+        """
+        if cache is None:
+            return None
+        delta = self._precedence_delta(position_rows, row_weights)
+        patched = cache + delta if sign > 0 else cache - delta
+        np.fill_diagonal(patched, 0.0)
+        patched.setflags(write=False)
+        return patched
+
+    @staticmethod
+    def _derive_margins(child: "RankingSet") -> None:
+        """Re-derive the child's margin caches from its patched precedence caches.
+
+        Uses the same ``W - W^T`` expression as :meth:`margin_matrix`, so a
+        margin derived from a bit-identical patched precedence matrix is
+        itself bit-identical to the from-scratch value.
+        """
+        for weighted in (False, True):
+            precedence = (
+                child._weighted_precedence_cache if weighted else child._precedence_cache
+            )
+            if precedence is None:
+                continue
+            margin = precedence - precedence.T
+            margin.setflags(write=False)
+            if weighted:
+                child._weighted_margin_cache = margin
+            else:
+                child._margin_cache = margin
+
+    def with_added(
+        self,
+        rankings: Sequence[Ranking],
+        labels: Sequence[str] | None = None,
+        weights: Sequence[float] | None = None,
+    ) -> "RankingSet":
+        """Return a new set with ``rankings`` appended, patching cached matrices.
+
+        The child's position matrix is the parent's with the new rows stacked
+        on, and every precedence/margin cache the parent had materialised is
+        patched by *adding* each new ranking's precedence contribution —
+        O(k n^2) work for k added rankings instead of the O(m n^2) rebuild.
+        This is the core update primitive of the streaming consensus engine
+        (:mod:`repro.streaming`); caches the parent never materialised stay
+        lazy on the child.
+        """
+        added = list(rankings)
+        if not added:
+            raise RankingError("with_added needs at least one ranking")
+        extra_labels = (
+            list(labels)
+            if labels is not None
+            else [f"r{self.n_rankings + i + 1}" for i in range(len(added))]
+        )
+        if weights is None:
+            extra_weights = np.ones(len(added), dtype=float)
+        else:
+            extra_weights = np.asarray(weights, dtype=float)
+            if extra_weights.shape != (len(added),):
+                raise ValidationError(
+                    f"weights must have one entry per added ranking; got shape "
+                    f"{extra_weights.shape} for {len(added)} rankings"
+                )
+        child = RankingSet(
+            list(self._rankings) + added,
+            labels=list(self._labels) + extra_labels,
+            weights=np.concatenate([self._weights, extra_weights]),
+        )
+        added_positions = np.vstack([ranking.positions for ranking in added])
+        if self._position_cache is not None:
+            position_matrix = np.vstack([self._position_cache, added_positions])
+            position_matrix.setflags(write=False)
+            child._position_cache = position_matrix
+        child._precedence_cache = self._patched_precedence(
+            self._precedence_cache,
+            added_positions,
+            np.ones(len(added), dtype=float),
+            sign=1.0,
+        )
+        child._weighted_precedence_cache = self._patched_precedence(
+            self._weighted_precedence_cache, added_positions, extra_weights, sign=1.0
+        )
+        self._derive_margins(child)
+        return child
+
+    def with_removed(self, indexes: Sequence[int]) -> "RankingSet":
+        """Return a new set without the rankings at ``indexes``, patching caches.
+
+        The inverse of :meth:`with_added`: every cache the parent had
+        materialised is patched by *subtracting* the removed rankings'
+        precedence contributions (exact for unweighted sets and integer /
+        dyadic weights, where every entry is an exactly-representable sum).
+        Removing every ranking is rejected — a :class:`RankingSet` is never
+        empty; streaming callers represent the empty profile explicitly.
+        """
+        removal = sorted(set(int(index) for index in indexes))
+        if not removal:
+            raise RankingError("with_removed needs at least one index")
+        for index in removal:
+            if not 0 <= index < self.n_rankings:
+                raise RankingError(
+                    f"ranking index {index} out of range for {self.n_rankings} rankings"
+                )
+        removal_set = set(removal)
+        keep = [i for i in range(self.n_rankings) if i not in removal_set]
+        if not keep:
+            raise RankingError("cannot remove every ranking from a set")
+        child = RankingSet(
+            [self._rankings[i] for i in keep],
+            labels=[self._labels[i] for i in keep],
+            weights=self._weights[keep],
+        )
+        removed_positions = np.vstack(
+            [self._rankings[i].positions for i in removal]
+        )
+        removed_weights = self._weights[removal]
+        if self._position_cache is not None:
+            position_matrix = self._position_cache[keep]
+            position_matrix.setflags(write=False)
+            child._position_cache = position_matrix
+        child._precedence_cache = self._patched_precedence(
+            self._precedence_cache,
+            removed_positions,
+            np.ones(len(removal), dtype=float),
+            sign=-1.0,
+        )
+        child._weighted_precedence_cache = self._patched_precedence(
+            self._weighted_precedence_cache, removed_positions, removed_weights, sign=-1.0
+        )
+        self._derive_margins(child)
+        return child
+
+    # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
     def subset(self, indexes: Sequence[int]) -> "RankingSet":

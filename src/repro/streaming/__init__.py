@@ -1,0 +1,38 @@
+"""Streaming consensus: incremental profile updates and warm-started repair.
+
+The batch pipeline treats a ranking profile as frozen — every submitted or
+retracted ranking forces a full precedence/margin recompute and a cold
+aggregation run.  This package makes profiles mutable:
+
+* :class:`~repro.streaming.engine.StreamingConsensusEngine` patches the
+  cached position/precedence/margin matrices of the live
+  :class:`~repro.core.ranking_set.RankingSet` in place (each ranking is a
+  rank-1-style precedence contribution), refreshes the profile fingerprint
+  incrementally, and warm-starts Make-MR-Fair plus the
+  :class:`~repro.aggregation.incremental.KemenyDeltaEngine` /
+  :class:`~repro.fairness.incremental.FairnessState` local search from the
+  previous consensus instead of a cold seed.
+* :class:`~repro.streaming.service.StreamingConsensusService` wires the
+  engine into the content-addressed
+  :class:`~repro.cache.store.ResultCache`, invalidating cached entries
+  keyed on the new profile version after every update.
+* :mod:`~repro.streaming.replay` reads JSONL event logs for the
+  ``mani-rank stream`` CLI subcommand and the ``/update`` endpoint.
+
+Every incremental path keeps a from-scratch reference (``rebuild`` +
+re-aggregate) that property tests hold bit-identical under randomized
+add/remove sequences.
+"""
+
+from repro.streaming.engine import StreamingConsensusEngine
+from repro.streaming.replay import StreamEvent, apply_events, read_events, resolve_order
+from repro.streaming.service import StreamingConsensusService
+
+__all__ = [
+    "StreamEvent",
+    "StreamingConsensusEngine",
+    "StreamingConsensusService",
+    "apply_events",
+    "read_events",
+    "resolve_order",
+]

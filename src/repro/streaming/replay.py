@@ -1,0 +1,132 @@
+"""JSONL event logs for the streaming engine.
+
+One event per line::
+
+    {"op": "add", "ranking": ["ana", "ben", ...], "weight": 1.0, "label": "j1"}
+    {"op": "remove", "ranking": ["ana", "ben", ...], "weight": 1.0}
+
+``ranking`` lists candidates best-to-worst, as names (resolved through the
+candidate table) or integer ids; ``weight`` defaults to 1.0 and ``label`` is
+optional.  :func:`read_events` parses and validates a log,
+:func:`apply_events` replays it event-by-event against a
+:class:`~repro.streaming.engine.StreamingConsensusEngine` — exercising the
+same incremental path one update at a time that the ``/update`` endpoint
+takes in batches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.candidates import CandidateTable
+from repro.exceptions import ValidationError
+from repro.streaming.engine import StreamingConsensusEngine
+
+__all__ = ["StreamEvent", "apply_events", "read_events", "resolve_order"]
+
+_OPS = ("add", "remove")
+
+
+def resolve_order(ranking: Sequence[object], table: CandidateTable) -> list[int]:
+    """Resolve a best-to-worst candidate list (names or ids) to integer ids."""
+    order: list[int] = []
+    for entry in ranking:
+        if isinstance(entry, str):
+            order.append(table.id_of(entry))
+        elif isinstance(entry, int) and not isinstance(entry, bool):
+            order.append(entry)
+        else:
+            raise ValidationError(
+                f"ranking entries must be candidate names or integer ids; got "
+                f"{entry!r}"
+            )
+    return order
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One parsed profile update: submit or retract a single weighted ranking."""
+
+    op: str
+    order: tuple[int, ...]
+    weight: float = 1.0
+    label: str | None = None
+
+
+def read_events(path: str | Path, table: CandidateTable) -> list[StreamEvent]:
+    """Parse a JSONL event log, resolving candidate names through ``table``.
+
+    Raises
+    ------
+    ValidationError
+        On malformed JSON, unknown ``op`` values, or missing fields — the
+        message carries the 1-based line number.
+    """
+    events: list[StreamEvent] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"{path}:{line_number}: invalid JSON: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise ValidationError(
+                f"{path}:{line_number}: each event must be a JSON object"
+            )
+        op = record.get("op")
+        if op not in _OPS:
+            raise ValidationError(
+                f"{path}:{line_number}: op must be one of {_OPS}; got {op!r}"
+            )
+        ranking = record.get("ranking")
+        if not isinstance(ranking, list) or not ranking:
+            raise ValidationError(
+                f"{path}:{line_number}: 'ranking' must be a non-empty list"
+            )
+        try:
+            order = resolve_order(ranking, table)
+        except (ValidationError, KeyError) as error:
+            raise ValidationError(f"{path}:{line_number}: {error}") from error
+        weight = record.get("weight", 1.0)
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise ValidationError(
+                f"{path}:{line_number}: 'weight' must be a number"
+            )
+        label = record.get("label")
+        if label is not None and not isinstance(label, str):
+            raise ValidationError(
+                f"{path}:{line_number}: 'label' must be a string"
+            )
+        events.append(
+            StreamEvent(op=op, order=tuple(order), weight=float(weight), label=label)
+        )
+    if not events:
+        raise ValidationError(f"{path}: the event log is empty")
+    return events
+
+
+def apply_events(
+    engine: StreamingConsensusEngine, events: Sequence[StreamEvent]
+) -> int:
+    """Replay events one at a time; returns the final profile version."""
+    version = engine.profile_version
+    for event in events:
+        if event.op == "add":
+            version = engine.add_rankings(
+                [list(event.order)],
+                weights=[event.weight],
+                labels=[event.label] if event.label is not None else None,
+            )
+        else:
+            version = engine.remove_rankings(
+                [list(event.order)], weights=[event.weight]
+            )
+    return version

@@ -135,7 +135,8 @@ class TestErrors:
         (status, payload), _ = with_server(scenario)
         assert status == 404
         assert payload["paths"] == [
-            "/aggregate", "/fairness", "/healthz", "/readyz", "/stats",
+            "/aggregate", "/consensus", "/fairness", "/healthz", "/readyz",
+            "/stats", "/update",
         ]
 
     def test_wrong_verb_is_405(self):

@@ -148,3 +148,46 @@ class TestStatsAccuracy:
 
     def test_empty_cache_hit_rate_is_zero(self):
         assert ResultCache().stats().hit_rate == 0.0
+
+
+class TestInvalidation:
+    def test_invalidate_removes_entries_from_both_tiers(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))
+        removed = cache.invalidate(["a", "b", "unknown"], profile_version=7)
+        assert removed == 2
+        assert cache.get("a") is None and cache.get("b") is None
+        assert not (tmp_path / "a.json").exists()
+        stats = cache.stats()
+        assert stats.invalidations == 2
+        assert stats.profile_version == 7
+
+    def test_invalidation_is_distinct_from_eviction(self):
+        cache = ResultCache(memory_capacity=1)
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))  # evicts a
+        cache.invalidate(["b"])
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.invalidations == 1
+        assert stats.profile_version == 0  # unchanged when not given
+
+    def test_invalidating_unknown_digests_is_a_counted_no_op(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        assert cache.invalidate(["missing"], profile_version=3) == 0
+        stats = cache.stats()
+        assert stats.invalidations == 0
+        assert stats.profile_version == 3
+
+    def test_duplicate_digests_invalidate_once(self):
+        cache = ResultCache()
+        cache.put("a", payload(1))
+        assert cache.invalidate(["a", "a"]) == 1
+        assert cache.stats().invalidations == 1
+
+    def test_memory_only_cache_invalidates(self):
+        cache = ResultCache()
+        cache.put("a", payload(1))
+        assert cache.invalidate(["a"]) == 1
+        assert cache.get("a") is None

@@ -41,6 +41,15 @@ class TestParser:
                 ["aggregate", "r.csv", "c.csv", "--strategy", "nope"]
             )
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream", "events.jsonl", "c.csv"])
+        assert args.method == "fair-borda"
+        assert args.delta == 0.1
+        assert args.strategy is None
+        assert args.verify is False
+        assert args.dump_profile is None
+        assert args.output is None
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.host == "127.0.0.1"
@@ -134,6 +143,46 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Fair-Borda" in output
         assert "PD loss" in output
+
+    def test_stream_committed_fixture_verifies_bit_identity(self, tmp_path, capsys):
+        profile_csv = tmp_path / "profile.csv"
+        output_json = tmp_path / "consensus.json"
+        assert main([
+            "stream",
+            str(FIXTURE_DIRECTORY / "stream_events.jsonl"),
+            str(FIXTURE_DIRECTORY / "candidates.csv"),
+            "--verify",
+            "--dump-profile",
+            str(profile_csv),
+            "--output",
+            str(output_json),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "replayed 12 events" in output
+        assert "bit-identical" in output
+        assert "PD loss" in output
+
+        # The dumped profile aggregated from scratch must reproduce the
+        # streamed payload bit-for-bit (the stream-smoke CI contract).
+        from repro.cache.service import compute_consensus_payload
+        from repro.io.csv_io import read_candidate_table, read_ranking_set
+
+        table = read_candidate_table(FIXTURE_DIRECTORY / "candidates.csv")
+        rankings = read_ranking_set(profile_csv, table)
+        streamed = json.loads(output_json.read_text())
+        assert streamed == compute_consensus_payload(rankings, table)
+
+    def test_stream_rejects_a_malformed_event_log(self, tmp_path):
+        from repro.exceptions import ValidationError
+
+        events = tmp_path / "events.jsonl"
+        events.write_text('{"op": "add", "ranking": ["ana"]}\nnot json\n')
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            main([
+                "stream",
+                str(events),
+                str(FIXTURE_DIRECTORY / "candidates.csv"),
+            ])
 
     def test_aggregate_cache_dir_replays_the_stored_result(self, tmp_path, capsys):
         cache_dir = tmp_path / "consensus-cache"
