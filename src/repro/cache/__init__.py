@@ -10,10 +10,12 @@ layers:
     content (order-insensitive across construction orders), the candidate
     table's group schema, and the normalised (method, strategy, Δ) triple.
 
-:mod:`repro.cache.store`
-    A memory LRU tier over an optional disk tier (JSON blobs written through
-    :mod:`repro.io.serialization`) with hit/miss/eviction/size counters
-    reported as a :class:`~repro.cache.store.CacheStats` snapshot.
+:mod:`repro.cache.store` / :mod:`repro.cache.eviction`
+    A policy-managed memory tier over an optional disk tier (JSON blobs
+    written through :mod:`repro.io.serialization`) with hit/miss/eviction/
+    expiry counters reported as a :class:`~repro.cache.store.CacheStats`
+    snapshot.  Replacement is pluggable (``lru``, ``cost-aware``, ``clock``)
+    and opt-in TTL expiry covers both tiers through an injectable clock.
 
 :mod:`repro.cache.resilience`
     The failure-containment primitives the serving stack runs on: retry with
@@ -36,6 +38,14 @@ latency-percentile baselines under a Zipf query popularity distribution.
 
 from __future__ import annotations
 
+from repro.cache.eviction import (
+    ClockPolicy,
+    CostAwarePolicy,
+    EvictionPolicy,
+    LRUPolicy,
+    available_policies,
+    create_policy,
+)
 from repro.cache.fingerprint import (
     CacheKey,
     cache_key,
@@ -60,16 +70,22 @@ __all__ = [
     "CacheKey",
     "CacheStats",
     "CircuitBreaker",
+    "ClockPolicy",
     "ConsensusCacheService",
     "ConsensusHTTPServer",
+    "CostAwarePolicy",
     "DiskTier",
+    "EvictionPolicy",
+    "LRUPolicy",
     "LatencyRecorder",
     "LocalFilesystem",
     "ResultCache",
     "RetryPolicy",
     "ServerLimits",
+    "available_policies",
     "cache_key",
     "compute_consensus_payload",
+    "create_policy",
     "fingerprint_candidate_table",
     "fingerprint_ranking_set",
     "run_server",

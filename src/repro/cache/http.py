@@ -68,6 +68,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import math
 import signal
 from collections.abc import Callable
 
@@ -412,6 +413,19 @@ class ConsensusHTTPServer:
             return status, payload, {}
         return 200, result, {}
 
+    def _retry_after_seconds(self) -> int:
+        """Back-off hint for shed responses, proportional to actual pressure.
+
+        The queue must drain ``queued + 1`` requests before a retry can be
+        admitted, and each drains in roughly one p90 service time — so the
+        hint is ``ceil((queued + 1) x p90)``, floored at 1 s (the pre-fix
+        constant) so cold servers without latency samples still tell clients
+        to wait a beat rather than hammer.
+        """
+        p90_seconds = self._latency.snapshot()["p90_ms"] / 1000.0
+        backlog = self._admission.queued + 1
+        return max(1, math.ceil(backlog * p90_seconds))
+
     async def _dispatch_guarded(
         self, handler: Callable, body: dict
     ) -> tuple[int, dict, dict]:
@@ -420,13 +434,13 @@ class ConsensusHTTPServer:
             return (
                 503,
                 {"error": "server is draining; retry against another instance"},
-                {"Retry-After": "1"},
+                {"Retry-After": str(self._retry_after_seconds())},
             )
         if not await self._admission.acquire():
             return (
                 503,
                 {"error": "server overloaded: in-flight budget and queue are full"},
-                {"Retry-After": "1"},
+                {"Retry-After": str(self._retry_after_seconds())},
             )
         try:
             return await self._dispatch(handler, body)

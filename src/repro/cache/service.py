@@ -17,6 +17,7 @@ cache, and every response carries its key digest plus a ``cached`` flag.
 from __future__ import annotations
 
 import json
+import time
 from collections.abc import Mapping
 
 from repro.cache.fingerprint import cache_key
@@ -134,6 +135,7 @@ class ConsensusCacheService:
             return {"key": digest, "cached": True, "result": payload}
         # The strategy is canonicalised inside the key; compute with the same
         # normalised name so equivalent spellings produce identical payloads.
+        started = time.perf_counter()
         payload = compute_consensus_payload(
             rankings,
             table,
@@ -141,7 +143,10 @@ class ConsensusCacheService:
             strategy=key.strategy,
             delta=delta,
         )
-        self._cache.put(digest, payload)
+        elapsed = time.perf_counter() - started
+        # The observed compute cost is the cost-aware policy's replacement
+        # signal; it rides in the entry's metadata across tiers.
+        self._cache.put(digest, payload, compute_seconds=elapsed)
         return {"key": digest, "cached": False, "result": payload}
 
     def stats(self) -> dict:

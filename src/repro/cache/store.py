@@ -1,10 +1,29 @@
-"""Two-tier result store: memory LRU over an optional disk tier.
+"""Two-tier result store: a policy-managed memory tier over an optional disk tier.
 
-The memory tier is a capacity-bounded LRU (an :class:`~collections.OrderedDict`
-keyed by content digest); the disk tier persists every stored payload as one
-JSON blob per digest, written atomically (temp file + :func:`os.replace`) so a
-crash mid-write never leaves a truncated blob under the final name.  Reads
-fall through memory → disk; a disk hit is promoted back into memory.
+The memory tier is capacity-bounded with a pluggable replacement policy
+(:mod:`repro.cache.eviction`: ``lru`` — the default, bit-identical to the
+pre-refactor ``OrderedDict`` implementation — ``cost-aware``, or ``clock``);
+the disk tier persists every stored payload as one JSON blob per digest,
+written atomically (temp file + :func:`os.replace`) so a crash mid-write
+never leaves a truncated blob under the final name.  Reads fall through
+memory → disk; a disk hit is promoted back into memory.
+
+Each blob is an *envelope* ``{"meta": {...}, "payload": {...}}``: the payload
+is exactly the canonical-JSON consensus result (still bit-identical to cold
+computation), and the metadata carries the entry's observed
+``compute_seconds``, its lifetime hit ``frequency``, and its ``stored_at``
+stamp — so the cost-aware policy's inputs and the TTL clock survive disk
+promotions and process restarts.  Pre-envelope blobs (a bare payload object)
+still load, with default metadata.
+
+Opt-in TTL expiry (``ResultCache(ttl=...)``) is lazy and covers both tiers:
+a lookup whose entry has aged past the TTL removes it everywhere (counted in
+``expirations``) and reports a miss, so the caller recomputes.  All
+timestamps are read through an injectable ``clock`` — the same seam the
+circuit breaker uses — so the TTL tests never touch wall time.  The default
+clock is :func:`time.monotonic`; it restarts at boot, so a blob stamped by a
+previous process is treated as freshly stored (it lives at most one more
+TTL).  Inject ``clock=time.time`` for wall-clock TTLs across restarts.
 
 Failure containment (degrade, don't die):
 
@@ -36,11 +55,12 @@ import functools
 import json
 import os
 import threading
-from collections import OrderedDict
-from collections.abc import Iterable
+import time
+from collections.abc import Callable, Iterable
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.cache.eviction import EvictionPolicy, create_policy
 from repro.cache.resilience import CLOSED, CircuitBreaker, RetryPolicy
 from repro.io.serialization import canonical_json
 
@@ -101,6 +121,14 @@ class CacheStats:
     the streaming engine issues after every update) — distinct from
     ``evictions``, which are capacity-driven; ``profile_version`` echoes the
     version recorded by the most recent invalidation (0 before any).
+
+    The replacement-policy view: ``policy`` names the memory tier's eviction
+    policy, ``expirations`` counts entries dropped because they aged past the
+    TTL (each such lookup is also a miss), ``recompute_seconds_saved`` is the
+    lifetime sum of the served entries' observed compute costs (every memory
+    or disk hit adds the entry's ``compute_seconds`` — the currency the
+    cost-aware policy maximises), and ``memory_cost_seconds`` is the summed
+    compute cost of the entries currently resident in memory.
     """
 
     hits: int = 0
@@ -117,6 +145,10 @@ class CacheStats:
     breaker_state: str = CLOSED
     invalidations: int = 0
     profile_version: int = 0
+    policy: str = "lru"
+    expirations: int = 0
+    recompute_seconds_saved: float = 0.0
+    memory_cost_seconds: float = 0.0
 
     @property
     def requests(self) -> int:
@@ -136,6 +168,66 @@ class CacheStats:
         payload["requests"] = self.requests
         payload["hit_rate"] = self.hit_rate
         return payload
+
+
+@dataclass
+class _MemoryEntry:
+    """One resident payload plus the replacement metadata the policies consume.
+
+    ``stored_at`` is the injectable-clock stamp of the original ``put`` (kept
+    across disk promotions, so TTL measures age since compute, not since
+    promotion); ``compute_seconds`` is the observed cost of computing the
+    payload (0.0 when the caller did not report one); ``frequency`` is the
+    entry's lifetime hit count.
+    """
+
+    payload: dict
+    stored_at: float
+    compute_seconds: float
+    frequency: int
+
+
+#: Envelope keys of the on-disk blob format (see the module docstring).
+_PAYLOAD_KEY = "payload"
+_META_KEY = "meta"
+
+
+def _wrap_entry(entry: _MemoryEntry) -> dict:
+    """The disk-blob envelope of ``entry``: payload plus replacement metadata."""
+    return {
+        _META_KEY: {
+            "compute_seconds": entry.compute_seconds,
+            "frequency": entry.frequency,
+            "stored_at": entry.stored_at,
+        },
+        _PAYLOAD_KEY: entry.payload,
+    }
+
+
+def _unwrap_blob(blob: dict, now: float) -> _MemoryEntry:
+    """Rebuild a memory entry from a disk blob (envelope or legacy bare payload).
+
+    A ``stored_at`` in the future — the monotonic clock restarted, or the
+    blob was written by another process — is clamped to ``now`` so the entry
+    counts as freshly stored instead of surviving a TTL forever.
+    """
+    payload = blob.get(_PAYLOAD_KEY)
+    meta = blob.get(_META_KEY)
+    if not isinstance(payload, dict) or not isinstance(meta, dict):
+        # Legacy pre-envelope blob: the payload itself, default metadata.
+        return _MemoryEntry(blob, stored_at=now, compute_seconds=0.0, frequency=0)
+    try:
+        stored_at = float(meta.get("stored_at", now))
+        compute_seconds = float(meta.get("compute_seconds", 0.0))
+        frequency = int(meta.get("frequency", 0))
+    except (TypeError, ValueError):
+        stored_at, compute_seconds, frequency = now, 0.0, 0
+    return _MemoryEntry(
+        payload,
+        stored_at=min(stored_at, now),
+        compute_seconds=max(0.0, compute_seconds),
+        frequency=max(0, frequency),
+    )
 
 
 class DiskTier:
@@ -309,13 +401,13 @@ class DiskTier:
 
 
 class ResultCache:
-    """Memory-LRU-over-disk result cache keyed by content digest.
+    """Policy-managed memory tier over an optional disk tier, keyed by digest.
 
     Parameters
     ----------
     memory_capacity:
-        Maximum number of payloads held in memory; the least recently used
-        entry is evicted (counted in :class:`CacheStats.evictions`) when a
+        Maximum number of payloads held in memory; the eviction ``policy``
+        picks the victim (counted in :class:`CacheStats.evictions`) when a
         store or a disk promotion exceeds it.  ``None`` disables the bound.
     directory:
         Optional disk-tier directory.  When set, every stored payload is also
@@ -332,6 +424,19 @@ class ResultCache:
     fs:
         Filesystem seam handed to the disk tier (fault-injection tests
         substitute a scheduled-failure implementation).
+    policy:
+        Memory-tier eviction policy: a registered name (``"lru"`` — the
+        default and the pre-refactor reference behaviour — ``"cost-aware"``,
+        ``"clock"``) or an :class:`~repro.cache.eviction.EvictionPolicy`
+        instance.
+    ttl:
+        Optional time-to-live in seconds.  A lookup whose entry has aged
+        ``ttl`` or more since its original ``put`` removes it from both tiers
+        (counted in ``expirations``) and reports a miss.  ``None`` (default)
+        disables expiry.
+    clock:
+        Injectable time source behind ``ttl`` stamps and checks (default
+        :func:`time.monotonic`; tests substitute a manual clock).
     """
 
     def __init__(
@@ -341,12 +446,20 @@ class ResultCache:
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         fs: LocalFilesystem | None = None,
+        policy: str | EvictionPolicy = "lru",
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """See the class docstring for the parameter contract."""
         if memory_capacity is not None and memory_capacity < 1:
             raise ValueError("memory_capacity must be at least 1 (or None)")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive seconds (or None)")
         self._capacity = memory_capacity
-        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._memory: dict[str, _MemoryEntry] = {}
+        self._policy = create_policy(policy)
+        self._ttl = ttl
+        self._clock = clock
         self._disk = (
             DiskTier(directory, retry=retry, fs=fs) if directory is not None else None
         )
@@ -357,13 +470,20 @@ class ResultCache:
         self._memory_hits = 0
         self._disk_hits = 0
         self._evictions = 0
+        self._expirations = 0
+        self._saved_seconds = 0.0
         self._disk_corruptions = 0
         self._disk_errors = 0
         self._invalidations = 0
         self._profile_version = 0
         if self._disk is not None:
-            # Errors during the construction-time temp-file sweep count too.
-            self._disk_errors += self._disk.pop_errors()
+            # Errors during the construction-time temp-file sweep count — and
+            # they are disk-fault evidence: feed the breaker so a cache built
+            # on an already-faulty disk does not start closed regardless.
+            errors = self._disk.pop_errors()
+            self._disk_errors += errors
+            if errors:
+                self._breaker.record_failure()
 
     @property
     def disk(self) -> DiskTier | None:
@@ -375,14 +495,29 @@ class ResultCache:
         """The disk circuit breaker (meaningful only with a disk tier)."""
         return self._breaker
 
-    def _admit(self, digest: str, payload: dict) -> None:
-        """Insert into the memory tier, evicting the LRU entry past capacity."""
-        self._memory[digest] = payload
-        self._memory.move_to_end(digest)
+    @property
+    def policy(self) -> EvictionPolicy:
+        """The memory tier's eviction policy."""
+        return self._policy
+
+    @property
+    def ttl(self) -> float | None:
+        """The configured time-to-live in seconds, or ``None``."""
+        return self._ttl
+
+    def _admit(self, digest: str, entry: _MemoryEntry) -> None:
+        """Insert into the memory tier, evicting policy victims past capacity."""
+        self._memory[digest] = entry
+        self._policy.on_admit(digest, entry.compute_seconds, entry.frequency)
         if self._capacity is not None:
             while len(self._memory) > self._capacity:
-                self._memory.popitem(last=False)
+                victim = self._policy.victim()
+                self._memory.pop(victim, None)
                 self._evictions += 1
+
+    def _expired(self, entry: _MemoryEntry, now: float) -> bool:
+        """Whether ``entry`` has aged past the TTL (always fresh without one)."""
+        return self._ttl is not None and now - entry.stored_at >= self._ttl
 
     def _absorb_disk_outcome(self, evidence: bool = True) -> None:
         """Pull the disk tier's corruption/error counters and feed the breaker.
@@ -404,44 +539,86 @@ class ResultCache:
         else:
             self._breaker.record_neutral()
 
+    def _drop_expired(self, digest: str, from_memory: bool) -> None:
+        """Remove an aged-past-TTL entry from both tiers and count it once.
+
+        The memory entry (when ``from_memory``) and the disk blob are stamped
+        by the same original ``put``, so one expiry event covers both tiers —
+        deleting the blob too keeps a later lookup from resurrecting the
+        stale payload via promotion.
+        """
+        if from_memory:
+            self._memory.pop(digest, None)
+            self._policy.remove(digest)
+        if self._disk is not None and self._breaker.allow():
+            deleted = self._disk.delete(digest)
+            self._absorb_disk_outcome(evidence=deleted)
+        self._expirations += 1
+
     def get(self, digest: str) -> dict | None:
         """Return the cached payload for ``digest``, or ``None`` on a miss.
 
-        While the disk breaker is open the disk tier is skipped entirely
-        (memory-only service); a half-open probe read decides whether it
-        closes again.
+        An entry that has aged past the TTL — in either tier — is removed and
+        reported as a miss (counted in ``expirations``), so the caller
+        recomputes.  While the disk breaker is open the disk tier is skipped
+        entirely (memory-only service); a half-open probe read decides
+        whether it closes again.
         """
         with self._lock:
-            if digest in self._memory:
-                self._memory.move_to_end(digest)
-                self._hits += 1
-                self._memory_hits += 1
-                return self._memory[digest]
-            if self._disk is not None and self._breaker.allow():
-                payload = self._disk.load(digest)
-                self._absorb_disk_outcome(evidence=payload is not None)
-                if payload is not None:
+            now = self._clock()
+            entry = self._memory.get(digest)
+            if entry is not None:
+                if self._expired(entry, now):
+                    self._drop_expired(digest, from_memory=True)
+                else:
+                    entry.frequency += 1
+                    self._policy.on_hit(digest, entry.compute_seconds, entry.frequency)
                     self._hits += 1
-                    self._disk_hits += 1
-                    self._admit(digest, payload)
-                    return payload
+                    self._memory_hits += 1
+                    self._saved_seconds += entry.compute_seconds
+                    return entry.payload
+            elif self._disk is not None and self._breaker.allow():
+                blob = self._disk.load(digest)
+                self._absorb_disk_outcome(evidence=blob is not None)
+                if blob is not None:
+                    entry = _unwrap_blob(blob, now)
+                    if self._expired(entry, now):
+                        self._drop_expired(digest, from_memory=False)
+                    else:
+                        self._hits += 1
+                        self._disk_hits += 1
+                        entry.frequency += 1
+                        self._saved_seconds += entry.compute_seconds
+                        self._admit(digest, entry)
+                        return entry.payload
             self._misses += 1
             return None
 
-    def put(self, digest: str, payload: dict) -> None:
+    def put(
+        self, digest: str, payload: dict, compute_seconds: float | None = None
+    ) -> None:
         """Store ``payload`` under ``digest`` in both tiers.
 
+        ``compute_seconds`` is the observed cost of producing the payload —
+        the cost-aware policy's replacement signal and the currency of
+        ``recompute_seconds_saved``; omit it and the entry is priced as free.
         A disk store that still fails after retries is absorbed — counted in
         ``disk_errors``, reported to the breaker (repeated failures open it
         and degrade the cache to memory-only) — and never raised; the memory
         tier always admits the payload first.
         """
         with self._lock:
-            self._admit(digest, payload)
+            entry = _MemoryEntry(
+                payload,
+                stored_at=self._clock(),
+                compute_seconds=max(0.0, float(compute_seconds or 0.0)),
+                frequency=0,
+            )
+            self._admit(digest, entry)
             if self._disk is None or not self._breaker.allow():
                 return
             try:
-                self._disk.store(digest, payload)
+                self._disk.store(digest, _wrap_entry(entry))
             except OSError:
                 # store() raises without counting; +1 is the final failure.
                 self._disk_errors += self._disk.pop_errors() + 1
@@ -470,6 +647,8 @@ class ResultCache:
         with self._lock:
             for digest in set(digests):
                 present = self._memory.pop(digest, None) is not None
+                if present:
+                    self._policy.remove(digest)
                 if self._disk is not None and self._breaker.allow():
                     deleted = self._disk.delete(digest)
                     self._absorb_disk_outcome(evidence=deleted)
@@ -482,11 +661,34 @@ class ResultCache:
         return removed
 
     def stats(self) -> CacheStats:
-        """Return an immutable snapshot of the counters and current sizes."""
+        """Return an immutable snapshot of the counters and current sizes.
+
+        Disk-size listings run first and their failures are absorbed — into
+        ``disk_errors`` *and* the circuit breaker — before the snapshot is
+        built, so the returned counters include the errors this very call
+        observed and a dead disk hammered only via ``/stats`` still trips
+        degradation.  (The breaker state is re-read after absorption for the
+        same reason.)  Listings are skipped while the breaker is not closed;
+        ``state`` is inspected directly rather than ``allow()`` so a stats
+        poll never consumes the half-open probe a real read should get.
+        """
         with self._lock:
+            disk_entries = 0
+            disk_bytes = 0
+            if self._disk is not None and self._breaker.state == CLOSED:
+                disk_entries = self._disk.entry_count()
+                disk_bytes = self._disk.total_bytes()
+                # Absorb listing errors (and feed the breaker) BEFORE the
+                # snapshot: pre-fix, the pop happened after construction, so
+                # the returned disk_errors under-counted and the breaker
+                # never saw listing failures.  A clean listing is neutral —
+                # it reads directory metadata, not payload bytes.
+                self._absorb_disk_outcome(evidence=False)
+                if self._breaker.state != CLOSED:
+                    disk_entries = 0
+                    disk_bytes = 0
             breaker_state = self._breaker.state if self._disk is not None else CLOSED
-            disk_ok = self._disk is not None and breaker_state == CLOSED
-            stats = CacheStats(
+            return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
                 memory_hits=self._memory_hits,
@@ -494,14 +696,17 @@ class ResultCache:
                 evictions=self._evictions,
                 disk_corruptions=self._disk_corruptions,
                 memory_entries=len(self._memory),
-                disk_entries=self._disk.entry_count() if disk_ok else 0,
-                disk_bytes=self._disk.total_bytes() if disk_ok else 0,
+                disk_entries=disk_entries,
+                disk_bytes=disk_bytes,
                 disk_errors=self._disk_errors,
                 disk_degraded=self._disk is not None and breaker_state != CLOSED,
                 breaker_state=breaker_state,
                 invalidations=self._invalidations,
                 profile_version=self._profile_version,
+                policy=self._policy.name,
+                expirations=self._expirations,
+                recompute_seconds_saved=self._saved_seconds,
+                memory_cost_seconds=sum(
+                    entry.compute_seconds for entry in self._memory.values()
+                ),
             )
-            if self._disk is not None:
-                self._disk_errors += self._disk.pop_errors()
-            return stats

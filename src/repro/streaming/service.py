@@ -20,6 +20,7 @@ into the service from an executor thread per request.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Sequence
 
 from repro.cache.fingerprint import CacheKey, fingerprint_thresholds
@@ -146,8 +147,13 @@ class StreamingConsensusService:
             payload = self._cache.get(digest)
             cached = payload is not None
             if payload is None:
+                started = time.perf_counter()
                 payload = self._engine.consensus()
-                self._cache.put(digest, payload)
+                # Report the observed compute cost so the shared cache's
+                # cost-aware policy can price streamed entries too.
+                self._cache.put(
+                    digest, payload, compute_seconds=time.perf_counter() - started
+                )
             self._live.add(digest)
             return {
                 "key": digest,

@@ -74,7 +74,9 @@ class TestDiskTier:
         cache = ResultCache(directory=tmp_path)
         cache.put("a", payload(1))
         assert list(tmp_path.glob("*.tmp")) == []
-        assert json.loads((tmp_path / "a.json").read_text()) == payload(1)
+        blob = json.loads((tmp_path / "a.json").read_text())
+        assert blob["payload"] == payload(1)
+        assert set(blob["meta"]) == {"compute_seconds", "frequency", "stored_at"}
 
     def test_persists_across_instances(self, tmp_path):
         ResultCache(directory=tmp_path).put("a", payload(1))

@@ -56,11 +56,23 @@ class TestParser:
         assert args.port == 8340
         assert args.cache_dir is None
         assert args.memory_capacity == 256
+        assert args.cache_policy == "lru"
+        assert args.cache_ttl is None
         assert args.max_requests is None
         assert args.max_inflight == 64
         assert args.queue_depth == 16
         assert args.read_timeout == 10.0
         assert args.drain_timeout == 5.0
+
+    def test_cache_policy_choices(self):
+        for command in (["serve"], ["aggregate", "r.csv", "c.csv"]):
+            args = build_parser().parse_args(
+                [*command, "--cache-policy", "cost-aware", "--cache-ttl", "300"]
+            )
+            assert args.cache_policy == "cost-aware"
+            assert args.cache_ttl == 300.0
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([*command, "--cache-policy", "nope"])
 
 
 class TestCommands:
