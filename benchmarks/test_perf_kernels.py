@@ -1,0 +1,197 @@
+"""Performance benchmark of the pluggable compute-kernel backends.
+
+Times the two engine hot paths on every *known* kernel backend
+(:mod:`repro.kernels`):
+
+* ``sweep`` — a full carry-run local-Kemenization
+  (``KemenyDeltaEngine.sweep_adjacent`` to convergence) from a shuffled
+  start on Mallows-like random profiles;
+* ``repair`` — ``make_mr_fair`` at the paper's tight Δ = 0.1 (the
+  parity-update storm the numba kernels target).
+
+Results are written to ``benchmarks/results/perf_kernels.{json,txt}``.  The
+committed baseline records the environment it ran in: where numba is not
+installed the numba columns are ``null`` and the payload carries the
+registry's reason, and the test ends in a *visible skip* (after persisting)
+so a ``-rs`` run shows exactly why the JIT leg did not execute.
+
+Where numba IS available, two hard gates run instead of the skip:
+
+* bit-identity — both workloads must return identical orders / swap counts
+  on both backends (the property suite covers this broadly; the benchmark
+  re-checks at benchmark scale);
+* speedup — the numba backend must be >= 5x faster than numpy on the
+  acceptance workload (>= 2x at smoke scale; override with
+  ``MANI_RANK_PERF_MIN_SPEEDUP``).  Warmup (JIT compilation) is excluded
+  from the timings via :meth:`NumbaKernelBackend.warmup`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import timeit
+
+import numpy as np
+import pytest
+
+from repro.aggregation.borda import BordaAggregator
+from repro.aggregation.incremental import KemenyDeltaEngine
+from repro.core.ranking import Ranking
+from repro.core.ranking_set import RankingSet
+from repro.datagen.attributes import scalability_table
+from repro.datagen.fair_modal import calibrated_modal_ranking
+from repro.datagen.mallows import sample_mallows
+from repro.experiments.reporting import render_table
+from repro.fair.make_mr_fair import make_mr_fair
+from repro.kernels import get_backend
+from repro.kernels.numba_backend import AVAILABLE as NUMBA_AVAILABLE
+from repro.kernels.numba_backend import UNAVAILABLE_REASON
+
+#: Modal-ranking fairness targets matching the Figure 7 scalability dataset.
+_MODAL_TARGETS = {"Race": 0.31, "Gender": 0.44}
+
+_SCALE_PARAMETERS = {
+    "full": {
+        "sweep_n": 500,
+        "sweep_m": 100,
+        "repair_n": 400,
+        "delta": 0.1,
+        "min_speedup": 5.0,
+    },
+    "smoke": {
+        "sweep_n": 80,
+        "sweep_m": 20,
+        "repair_n": 60,
+        "delta": 0.1,
+        "min_speedup": 2.0,
+    },
+}
+
+
+def _best_of(function, repeat: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeat`` single runs."""
+    return min(timeit.repeat(function, number=1, repeat=repeat))
+
+
+def _sweep_workload(parameters, backend_name: str):
+    """Fresh-engine local-Kemenization to convergence; returns (run, probe)."""
+    n, m = parameters["sweep_n"], parameters["sweep_m"]
+    rng = np.random.default_rng(19)
+    rankings = RankingSet([Ranking(rng.permutation(n).tolist()) for _ in range(m)])
+    precedence = rankings.precedence_matrix()
+    initial = Ranking(rng.permutation(n).tolist())
+
+    def run():
+        engine = KemenyDeltaEngine(precedence, initial, backend=backend_name)
+        sweeps = 0
+        while engine.sweep_adjacent():
+            sweeps += 1
+        return engine.order_list, engine.objective, sweeps
+
+    return run
+
+
+def _repair_workload(parameters, backend_name: str):
+    n = parameters["repair_n"]
+    table = scalability_table(n, rng=7)
+    modal = calibrated_modal_ranking(table, _MODAL_TARGETS, rng=7)
+    rankings = sample_mallows(modal, 0.6, 50, rng=7)
+    seed = BordaAggregator().aggregate(rankings)
+    delta = parameters["delta"]
+
+    def run():
+        result = make_mr_fair(seed, table, delta, backend=backend_name)
+        return result.ranking.to_list(), result.n_swaps
+
+    return run
+
+
+def test_perf_kernels(results_directory, perf_output_directory):
+    scale = os.environ.get("MANI_RANK_PERF_SCALE", "full")
+    parameters = _SCALE_PARAMETERS[scale]
+    min_speedup = float(
+        os.environ.get("MANI_RANK_PERF_MIN_SPEEDUP", parameters["min_speedup"])
+    )
+
+    workloads = [
+        ("sweep", f"n={parameters['sweep_n']}, m={parameters['sweep_m']}"),
+        ("repair", f"n={parameters['repair_n']}, delta={parameters['delta']}"),
+    ]
+    builders = {"sweep": _sweep_workload, "repair": _repair_workload}
+
+    rows = []
+    acceptance_speedup = None
+    for workload, configuration in workloads:
+        numpy_run = builders[workload](parameters, "numpy")
+        numpy_result = numpy_run()
+        row = {
+            "workload": workload,
+            "configuration": configuration,
+            "numpy_s": _best_of(numpy_run),
+            "numba_s": None,
+            "speedup": None,
+        }
+        if NUMBA_AVAILABLE:
+            get_backend("numba").warmup()
+            numba_run = builders[workload](parameters, "numba")
+            # Bit-identity at benchmark scale before timing anything.
+            assert numba_run() == numpy_result, (
+                f"numba backend diverged from numpy on the {workload} workload"
+            )
+            row["numba_s"] = _best_of(numba_run)
+            row["speedup"] = row["numpy_s"] / row["numba_s"]
+            acceptance_speedup = row["speedup"]
+        rows.append(row)
+
+    if NUMBA_AVAILABLE:
+        # Gate on the last (repair) workload: the parity-update storm the
+        # JIT kernels were written for.
+        assert acceptance_speedup is not None
+        assert acceptance_speedup >= min_speedup, (
+            f"numba backend only {acceptance_speedup:.1f}x faster than numpy "
+            f"(required {min_speedup}x)"
+        )
+
+    # Persist the trajectory — full scale only, unless CI redirects it.
+    persist_directory = None
+    if perf_output_directory is not None:
+        persist_directory = perf_output_directory
+    elif scale == "full":
+        persist_directory = results_directory
+    if persist_directory is not None:
+        payload = {
+            "benchmark": "perf_kernels",
+            "scale": scale,
+            "parameters": {
+                key: value
+                for key, value in parameters.items()
+                if key != "min_speedup"
+            },
+            "numba": {
+                "available": NUMBA_AVAILABLE,
+                "unavailable_reason": UNAVAILABLE_REASON or None,
+            },
+            "workloads": rows,
+        }
+        (persist_directory / "perf_kernels.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        status = (
+            "numba available"
+            if NUMBA_AVAILABLE
+            else f"numba unavailable: {UNAVAILABLE_REASON}"
+        )
+        text = "\n\n".join(
+            [
+                f"perf_kernels (scale={scale}; {status})",
+                "kernel backends\n" + render_table(rows, digits=4),
+            ]
+        )
+        (persist_directory / "perf_kernels.txt").write_text(text + "\n")
+
+    if not NUMBA_AVAILABLE:
+        pytest.skip(
+            "numpy backend timed and persisted; the numba leg and the "
+            f">= {min_speedup}x gate did not run: {UNAVAILABLE_REASON}"
+        )

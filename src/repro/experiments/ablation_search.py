@@ -85,6 +85,7 @@ def run(
     seed: int = 2022,
     strategies: Sequence[str] | None = None,
     n_workers: int | None = 1,
+    in_group_threads: int | None = 1,
 ) -> ExperimentResult:
     """Compare the local-search strategies' objective/time on a Mallows grid.
 
@@ -120,7 +121,13 @@ def run(
             "seed": seed,
         },
     )
-    result.extend(grid.run(evaluate_strategy_cell, n_workers=n_workers))
+    result.extend(
+        grid.run(
+            evaluate_strategy_cell,
+            n_workers=n_workers,
+            in_group_threads=in_group_threads,
+        )
+    )
     result.notes.append(
         "insertion is structurally never worse in objective than "
         "adjacent-swap on the same cell; combined carries no such guarantee "

@@ -60,6 +60,7 @@ def run(
     seed: int = 2022,
     candidate_counts: Sequence[int] | None = None,
     n_workers: int | None = 1,
+    in_group_threads: int | None = 1,
 ) -> ExperimentResult:
     """Reproduce Table III: Fair-Borda execution time vs candidate count (Δ = 0.33).
 
@@ -94,7 +95,11 @@ def run(
     )
 
     result.extend(
-        grid.run(partial(_measure_cell, delta=delta), n_workers=n_workers)
+        grid.run(
+            partial(_measure_cell, delta=delta),
+            n_workers=n_workers,
+            in_group_threads=in_group_threads,
+        )
     )
     result.notes.append(
         "Runtime excludes dataset generation (the paper also times only the "

@@ -19,6 +19,7 @@ from repro.fair.local_repair import (
     fair_local_search,
 )
 from repro.fair.make_mr_fair import MakeMRFairResult, make_mr_fair
+from repro.fair.sharding import default_shard_count, make_mr_fair_sharded
 from repro.fair.registry import (
     PAPER_LABELS,
     available_fair_methods,
@@ -41,6 +42,8 @@ __all__ = [
     "FairAggregationResult",
     "make_mr_fair",
     "MakeMRFairResult",
+    "make_mr_fair_sharded",
+    "default_shard_count",
     "fair_local_kemenization",
     "fair_local_kemenization_reference",
     "fair_insertion_kemenization",

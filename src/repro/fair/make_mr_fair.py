@@ -192,6 +192,7 @@ def make_mr_fair(
     table: CandidateTable,
     delta: FairnessThresholds | float | Mapping[str, float],
     max_swaps: int | None = None,
+    backend: object | None = None,
 ) -> MakeMRFairResult:
     """Correct ``ranking`` until it satisfies MANI-Rank fairness at ``delta``.
 
@@ -211,6 +212,10 @@ def make_mr_fair(
         Fairness threshold(s); see :class:`FairnessThresholds`.
     max_swaps:
         Safety cap; defaults to ``ω(X) * (#fairness entities + 1)``.
+    backend:
+        Compute-kernel backend for the incremental engine
+        (:mod:`repro.kernels`): ``None`` (the process default), a registered
+        backend name, or a backend instance.
 
     Raises
     ------
@@ -230,7 +235,7 @@ def make_mr_fair(
     if max_swaps is None:
         max_swaps = total_pairs(table.n_candidates) * (len(entities) + 1)
 
-    state = FairnessState(ranking, table)
+    state = FairnessState(ranking, table, backend=backend)
     corrected_entities: list[str] = []
     tolerance = 1e-9
     n_swaps = 0

@@ -18,6 +18,11 @@ by the candidate *names* from best to worst::
 
 Names rather than integer ids are written so files stay meaningful when the
 table is edited; reading resolves names back to ids through the table.
+
+Malformed files are reported as :class:`~repro.exceptions.ValidationError`
+with ``path:row`` (and, where it applies, a 1-based column) positions —
+the same per-line error style as :mod:`repro.streaming.replay` — rather than
+leaking the underlying ``KeyError``/``CandidateError`` with no location.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from pathlib import Path
 from repro.core.candidates import CandidateTable
 from repro.core.ranking import Ranking
 from repro.core.ranking_set import RankingSet
-from repro.exceptions import ValidationError
+from repro.exceptions import CandidateError, ValidationError
 
 __all__ = [
     "write_candidate_table",
@@ -50,10 +55,18 @@ def write_candidate_table(table: CandidateTable, path: str | Path) -> None:
 
 
 def read_candidate_table(path: str | Path) -> CandidateTable:
-    """Read a candidate table previously written by :func:`write_candidate_table`."""
+    """Read a candidate table previously written by :func:`write_candidate_table`.
+
+    Raises
+    ------
+    ValidationError
+        With a ``path:row`` position (rows are 1-based, counting the header)
+        for ragged rows and duplicate candidate names, instead of the bare
+        errors the csv module / table constructor would raise.
+    """
     path = Path(path)
     with path.open(newline="") as handle:
-        reader = csv.DictReader(handle)
+        reader = csv.DictReader(handle, restkey=_EXTRA_FIELDS)
         if reader.fieldnames is None or "name" not in reader.fieldnames:
             raise ValidationError(
                 f"{path} is not a candidate table CSV (missing 'name' column)"
@@ -61,12 +74,40 @@ def read_candidate_table(path: str | Path) -> CandidateTable:
         attribute_names = [field for field in reader.fieldnames if field != "name"]
         if not attribute_names:
             raise ValidationError(f"{path} declares no protected attribute columns")
-        rows = list(reader)
+        n_columns = len(reader.fieldnames)
+        rows: list[dict] = []
+        seen_names: dict[str, int] = {}
+        for row in reader:
+            row_number = reader.line_num
+            if _EXTRA_FIELDS in row:
+                raise ValidationError(
+                    f"{path}:{row_number}: expected {n_columns} columns, got "
+                    f"{n_columns + len(row[_EXTRA_FIELDS])}"
+                )
+            missing = [field for field, value in row.items() if value is None]
+            if missing:
+                raise ValidationError(
+                    f"{path}:{row_number}: expected {n_columns} columns, got "
+                    f"{n_columns - len(missing)}"
+                )
+            name = row["name"]
+            previous = seen_names.get(name)
+            if previous is not None:
+                raise ValidationError(
+                    f"{path}:{row_number}: duplicate candidate name {name!r} "
+                    f"(first defined at row {previous})"
+                )
+            seen_names[name] = row_number
+            rows.append(row)
     if not rows:
         raise ValidationError(f"{path} contains no candidates")
     columns = {name: [row[name] for row in rows] for name in attribute_names}
     names = [row["name"] for row in rows]
     return CandidateTable(columns, names=names)
+
+
+#: Sentinel restkey so over-long candidate rows are detected, not dropped.
+_EXTRA_FIELDS = "__extra_fields__"
 
 
 def write_ranking_set(
@@ -82,7 +123,17 @@ def write_ranking_set(
 
 
 def read_ranking_set(path: str | Path, table: CandidateTable) -> RankingSet:
-    """Read a ranking set previously written by :func:`write_ranking_set`."""
+    """Read a ranking set previously written by :func:`write_ranking_set`.
+
+    Raises
+    ------
+    ValidationError
+        With a ``path:row`` position (rows are 1-based, counting the header)
+        for ragged rows, and additionally the 1-based column for unknown or
+        repeated candidate names, instead of the bare ``CandidateError`` /
+        ``RankingError`` the table and :class:`~repro.core.ranking.Ranking`
+        constructors raise without location.
+    """
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
@@ -94,8 +145,31 @@ def read_ranking_set(path: str | Path, table: CandidateTable) -> RankingSet:
         for row in reader:
             if not row:
                 continue
+            row_number = reader.line_num
+            if len(row) - 1 != table.n_candidates:
+                raise ValidationError(
+                    f"{path}:{row_number}: expected {table.n_candidates} "
+                    f"candidates after the label, got {len(row) - 1}"
+                )
+            order: list[int] = []
+            seen_columns: dict[int, int] = {}
+            for column, name in enumerate(row[1:], start=2):
+                try:
+                    candidate = table.id_of(name)
+                except CandidateError as error:
+                    raise ValidationError(
+                        f"{path}:{row_number}: column {column}: {error}"
+                    ) from error
+                previous = seen_columns.get(candidate)
+                if previous is not None:
+                    raise ValidationError(
+                        f"{path}:{row_number}: column {column}: candidate "
+                        f"{name!r} already ranked at column {previous}"
+                    )
+                seen_columns[candidate] = column
+                order.append(candidate)
             labels.append(row[0])
-            orders.append([table.id_of(name) for name in row[1:]])
+            orders.append(order)
     if not orders:
         raise ValidationError(f"{path} contains no rankings")
     rankings = [Ranking(order) for order in orders]

@@ -1,0 +1,210 @@
+"""Pluggable compute-kernel backends for the hot inner loops.
+
+The incremental engines (:class:`~repro.aggregation.incremental.KemenyDeltaEngine`,
+:class:`~repro.fairness.incremental.FairnessState`) and the shared kernels in
+:mod:`repro.core` route their hot loops through a :class:`KernelBackend`
+picked from a small registry, mirroring the multi-backend pattern of
+:mod:`repro.optimize.milp_backend`:
+
+* ``numpy`` — always available; the original loops extracted verbatim, so it
+  is bit-identical to the pre-seam code by construction.  This is the
+  default.
+* ``numba`` — registered only when :mod:`numba` imports; the same loops as
+  lazy JIT-compiled ``nogil`` kernels, bit-identical to ``numpy`` on
+  unweighted inputs (enforced by the cross-backend property suite).
+
+Backend resolution order for :func:`active_backend` (what engines use when
+built without an explicit ``backend=`` argument):
+
+1. a process-wide override installed via :func:`set_default_backend` (the CLI
+   ``--kernel-backend`` flag lands here),
+2. the ``MANI_RANK_BACKEND`` environment variable,
+3. ``"numpy"``.
+
+Backend instances are stateless (pure kernels), so one shared instance per
+name is handed out; :func:`create_backend` builds a fresh instance for
+callers that want isolation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.exceptions import KernelError
+from repro.kernels import numba_backend as _numba_module
+from repro.kernels.base import KernelBackend
+from repro.kernels.numba_backend import NumbaKernelBackend
+from repro.kernels.numpy_backend import NumpyKernelBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyKernelBackend",
+    "NumbaKernelBackend",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "available_backends",
+    "unavailable_backends",
+    "create_backend",
+    "get_backend",
+    "resolve_backend",
+    "active_backend",
+    "active_backend_name",
+    "set_default_backend",
+    "use_backend",
+    "describe_backends",
+]
+
+#: Environment variable consulted when no explicit default is installed.
+BACKEND_ENV_VAR = "MANI_RANK_BACKEND"
+
+#: Name of the backend used when nothing else is configured.
+DEFAULT_BACKEND = "numpy"
+
+_REGISTRY: dict[str, type[KernelBackend]] = {}
+#: name -> reason, for backends that exist but cannot run in this interpreter.
+_UNAVAILABLE: dict[str, str] = {}
+
+_LOCK = threading.Lock()
+_INSTANCES: dict[str, KernelBackend] = {}
+_DEFAULT_OVERRIDE: str | None = None
+
+
+def register_backend(cls: type[KernelBackend]) -> type[KernelBackend]:
+    """Register a :class:`KernelBackend` subclass under ``cls.name``.
+
+    Usable as a decorator by third-party backends.  Re-registering a name
+    replaces the previous class (and drops its shared instance).
+    """
+    name = cls.name
+    if not name:
+        raise KernelError(f"backend class {cls.__name__} has an empty name")
+    with _LOCK:
+        _REGISTRY[name] = cls
+        _INSTANCES.pop(name, None)
+        _UNAVAILABLE.pop(name, None)
+    return cls
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered, runnable backends (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def unavailable_backends() -> dict[str, str]:
+    """Known-but-unusable backends mapped to the reason they are unusable."""
+    return dict(_UNAVAILABLE)
+
+
+def create_backend(name: str | None = None) -> KernelBackend:
+    """Build a fresh instance of backend ``name`` (default: the active name)."""
+    resolved = name if name is not None else active_backend_name()
+    try:
+        cls = _REGISTRY[resolved]
+    except KeyError:
+        raise KernelError(_unknown_backend_message(resolved)) from None
+    return cls()
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Return the shared instance of backend ``name`` (created on first use)."""
+    with _LOCK:
+        instance = _INSTANCES.get(name)
+        if instance is None:
+            try:
+                cls = _REGISTRY[name]
+            except KeyError:
+                raise KernelError(_unknown_backend_message(name)) from None
+            instance = cls()
+            _INSTANCES[name] = instance
+    return instance
+
+
+def active_backend_name() -> str:
+    """The name :func:`active_backend` resolves to right now.
+
+    Resolution order: :func:`set_default_backend` override, then the
+    ``MANI_RANK_BACKEND`` environment variable, then ``"numpy"``.
+    """
+    if _DEFAULT_OVERRIDE is not None:
+        return _DEFAULT_OVERRIDE
+    from_env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    return from_env if from_env else DEFAULT_BACKEND
+
+
+def active_backend() -> KernelBackend:
+    """The shared instance of the currently configured default backend."""
+    return get_backend(active_backend_name())
+
+
+def resolve_backend(backend: KernelBackend | str | None) -> KernelBackend:
+    """Normalise an engine's ``backend=`` argument to a :class:`KernelBackend`.
+
+    ``None`` resolves to :func:`active_backend`; a string resolves through the
+    registry; an instance passes through unchanged.
+    """
+    if backend is None:
+        return active_backend()
+    if isinstance(backend, KernelBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise KernelError(
+        "backend must be None, a backend name, or a KernelBackend instance; "
+        f"got {type(backend).__name__}"
+    )
+
+
+def set_default_backend(name: str | None) -> None:
+    """Install (or with ``None`` clear) the process-wide default backend.
+
+    Validates eagerly so misconfiguration surfaces at selection time, not on
+    the first hot-loop call deep inside an engine.
+    """
+    global _DEFAULT_OVERRIDE
+    if name is not None and name not in _REGISTRY:
+        raise KernelError(_unknown_backend_message(name))
+    _DEFAULT_OVERRIDE = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Temporarily make ``name`` the process default (test/benchmark helper)."""
+    previous = _DEFAULT_OVERRIDE
+    set_default_backend(name)
+    try:
+        yield active_backend()
+    finally:
+        set_default_backend(previous)
+
+
+def describe_backends() -> dict[str, Any]:
+    """Registry snapshot for ``/stats``, ``/healthz``, and the CLI."""
+    active = active_backend()
+    return {
+        "active": active.compile_status(),
+        "available": list(available_backends()),
+        "unavailable": unavailable_backends(),
+        "env_var": BACKEND_ENV_VAR,
+    }
+
+
+def _unknown_backend_message(name: str) -> str:
+    message = (
+        f"unknown kernel backend {name!r}; available: "
+        f"{', '.join(available_backends())}"
+    )
+    reason = _UNAVAILABLE.get(name)
+    if reason is not None:
+        message += f" ({name} is known but unavailable: {reason})"
+    return message
+
+
+register_backend(NumpyKernelBackend)
+if _numba_module.AVAILABLE:  # pragma: no cover - exercised only with numba
+    register_backend(NumbaKernelBackend)
+else:
+    _UNAVAILABLE[NumbaKernelBackend.name] = _numba_module.UNAVAILABLE_REASON

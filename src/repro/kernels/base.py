@@ -1,0 +1,191 @@
+"""Abstract interface for pluggable compute-kernel backends.
+
+The incremental engines (:class:`repro.aggregation.incremental.KemenyDeltaEngine`
+and :class:`repro.fairness.incremental.FairnessState`) and the shared kernels in
+:mod:`repro.core` route their hot inner loops through a :class:`KernelBackend`.
+The default ``numpy`` backend contains the loop bodies extracted verbatim from
+the engines, so it is bit-identical to the pre-seam code by construction.
+Alternative backends (``numba`` when importable) must reproduce the numpy
+backend bit-for-bit on unweighted integer-margin inputs; the cross-backend
+property suites in ``tests/test_kernel_backends.py`` enforce that contract.
+
+Conventions shared by every backend:
+
+- ``order`` is an ``int64`` numpy array holding candidate ids best-to-worst
+  and is mutated **in place** by :meth:`KernelBackend.sweep_adjacent`.
+- ``margin`` is the dense ``float64`` margin matrix ``M = W - W^T`` where
+  ``margin[a, b] > 0`` means a majority of rankings place ``b`` before ``a``.
+- Group vectors (``favored`` counts, parity denominators) and membership
+  vectors are built through :meth:`KernelBackend.group_vector` and
+  :meth:`KernelBackend.membership_vector` so each backend can pick the
+  representation its kernels index fastest (plain lists for numpy/CPython,
+  ``int64`` arrays for numba).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Sequence
+
+import numpy as np
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(ABC):
+    """One compute-kernel implementation covering the repo's hot inner loops."""
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    #: Whether the backend JIT-compiles its kernels.
+    compiled: ClassVar[bool] = False
+
+    def compile_status(self) -> dict[str, Any]:
+        """Describe the backend for ``/stats`` and ``/healthz`` payloads."""
+        return {"name": self.name, "compiled": self.compiled, "detail": self.detail()}
+
+    def detail(self) -> str:
+        """One-line human-readable description of the implementation."""
+        return "pure numpy/CPython kernels"
+
+    def warmup(self) -> None:
+        """Force any lazy compilation. No-op for interpreted backends."""
+
+    # ------------------------------------------------------------------
+    # Representation hooks
+    # ------------------------------------------------------------------
+
+    def group_vector(self, values: Sequence[int]) -> Any:
+        """Return the backend's mutable per-group integer vector (length n_groups)."""
+        if isinstance(values, np.ndarray):
+            return values.tolist()
+        return list(values)
+
+    def membership_vector(self, membership: np.ndarray) -> Any:
+        """Return the backend's read-only candidate→group lookup (length n)."""
+        return membership.tolist()
+
+    # ------------------------------------------------------------------
+    # Kemeny delta-engine kernels
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def build_sweep_mask(self, order: np.ndarray, margin: np.ndarray) -> np.ndarray:
+        """Return the boolean mask of improving adjacent pairs.
+
+        ``mask[i]`` is true when swapping ``order[i]`` and ``order[i + 1]``
+        strictly lowers the Kemeny objective, i.e.
+        ``margin[order[i], order[i + 1]] > 0``.
+        """
+
+    @abstractmethod
+    def sweep_adjacent(
+        self,
+        order: np.ndarray,
+        margin: np.ndarray,
+        mask: np.ndarray,
+        track_objective: bool,
+    ) -> tuple[bool, float]:
+        """Run one carry-run bubble pass in place over ``order``.
+
+        Both ``order`` and ``mask`` are mutated.  Returns
+        ``(swapped, improvement)`` where ``improvement`` is the total objective
+        decrease of the pass (only accumulated when ``track_objective``).
+        """
+
+    @abstractmethod
+    def move_deltas(
+        self,
+        margin: np.ndarray,
+        candidate: int,
+        order: np.ndarray,
+        position: int,
+    ) -> np.ndarray:
+        """Score moving ``candidate`` (at ``position``) to every target position.
+
+        Returns a ``float64`` array ``deltas`` of length ``len(order)`` where
+        ``deltas[t]`` is the objective change of the block move to position
+        ``t`` (``deltas[position] == 0``).
+        """
+
+    # ------------------------------------------------------------------
+    # Fairness parity kernels
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def parity_after_swap(
+        self,
+        favored: Sequence[int],
+        denominators: Sequence[int],
+        group_u: int,
+        group_v: int,
+        gap: int,
+    ) -> float:
+        """Parity after transferring ``gap`` favored pairs from ``group_u`` to ``group_v``.
+
+        ``favored`` and ``denominators`` are backend group vectors (see
+        :meth:`group_vector`); the call must not mutate them.
+        """
+
+    @abstractmethod
+    def parity_after_deltas(
+        self,
+        favored: Sequence[int],
+        deltas: Sequence[int],
+        denominators: Sequence[int],
+    ) -> float:
+        """Parity after adding ``deltas[g]`` to each group's favored count."""
+
+    @abstractmethod
+    def move_histogram(
+        self,
+        membership: Any,
+        window: Sequence[int],
+        candidate: int,
+        falling: bool,
+        n_groups: int,
+    ) -> Sequence[int]:
+        """Per-group favored-count deltas for a block move over ``window``.
+
+        ``membership`` is a backend membership vector; ``window`` lists the
+        candidate ids the mover passes over.  The mover's own group receives
+        minus the number of mixed pairs crossed; every other group gains the
+        number of its members crossed.  The histogram is negated when the
+        mover rises (``falling`` false).
+        """
+
+    # ------------------------------------------------------------------
+    # Shared core kernels
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def favored_mixed_pairs_by_group(
+        self,
+        order: np.ndarray,
+        membership: np.ndarray,
+        n_groups: int,
+    ) -> np.ndarray:
+        """Count, per group, mixed pairs whose favored member is in that group.
+
+        ``order`` lists candidate ids best-to-worst; ``membership`` maps
+        candidate id to group id.  Returns an ``int64`` array of length
+        ``n_groups``.
+        """
+
+    @abstractmethod
+    def precedence_accumulate(
+        self,
+        matrix: np.ndarray,
+        positions: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """Accumulate one block of rankings into a precedence matrix in place.
+
+        ``positions`` is a ``(block, n)`` array of candidate positions and
+        ``weights`` the per-ranking weights; ``matrix[a, b]`` accumulates the
+        total weight of rankings that place ``b`` before ``a``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} name={self.name!r} compiled={self.compiled}>"

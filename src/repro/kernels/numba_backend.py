@@ -1,0 +1,288 @@
+"""Optional JIT compute-kernel backend on top of :mod:`numba`.
+
+The module is always importable: when numba is missing it degrades to
+``AVAILABLE = False`` plus a human-readable ``UNAVAILABLE_REASON`` and the
+registry simply does not offer the backend.  When numba is present, the same
+loops as :mod:`repro.kernels.numpy_backend` are expressed as scalar
+``@njit(nogil=True)`` kernels — same decisions, same arithmetic on the same
+exact integer-valued values, so results are bit-identical to the numpy
+backend on unweighted inputs (the cross-backend property suite enforces it).
+
+Compilation is lazy (first call per signature); :meth:`NumbaKernelBackend.warmup`
+forces it up front on tiny inputs so serving paths do not pay the JIT cost
+mid-request.  ``nogil=True`` lets the kernels release the GIL, which is what
+makes the opt-in thread parallelism in ``ScenarioGrid.run`` worthwhile under
+this backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import KernelError
+from repro.kernels.base import KernelBackend
+
+__all__ = ["AVAILABLE", "UNAVAILABLE_REASON", "NumbaKernelBackend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError as _exc:  # numba absent: backend stays unregistered
+    numba = None
+    UNAVAILABLE_REASON = f"numba is not importable ({_exc})"
+else:  # pragma: no cover - exercised only where numba is installed
+    UNAVAILABLE_REASON = ""
+
+AVAILABLE = numba is not None
+
+
+if AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    _njit = numba.njit(cache=True, nogil=True, fastmath=False)
+
+    @_njit
+    def _build_sweep_mask(order, margin):
+        n = order.shape[0]
+        mask = np.empty(n - 1, dtype=np.bool_)
+        for i in range(n - 1):
+            mask[i] = margin[order[i], order[i + 1]] > 0.0
+        return mask
+
+    @_njit
+    def _sweep_adjacent(order, margin, mask, track_objective):
+        n = order.shape[0]
+        p = -1
+        for i in range(mask.shape[0]):
+            if mask[i]:
+                p = i
+                break
+        if p < 0:
+            return False, 0.0
+        improvement = 0.0
+        while True:
+            carry = order[p]
+            # Carry run: shift the tail left until the carry wins a
+            # comparison (first non-positive margin ends the run).
+            q = p
+            run_gain = 0.0
+            for j in range(p + 1, n):
+                loss = margin[carry, order[j]]
+                if loss <= 0.0:
+                    break
+                order[j - 1] = order[j]
+                q = j
+                run_gain += loss
+            order[q] = carry
+            if track_objective:
+                improvement += run_gain
+            # Identical mask patch to the numpy backend: left-shift the
+            # run's pairs, clear the two pairs adjacent to the landing
+            # spot, recompute the pair entering from the left.
+            for i in range(p, q - 1):
+                mask[i] = mask[i + 1]
+            mask[q - 1] = False
+            if q < n - 1:
+                mask[q] = False
+            if p > 0:
+                mask[p - 1] = margin[order[p - 1], order[p]] > 0.0
+            nxt = -1
+            for i in range(q + 1, mask.shape[0]):
+                if mask[i]:
+                    nxt = i
+                    break
+            if nxt < 0:
+                break
+            p = nxt
+        return True, improvement
+
+    @_njit
+    def _move_deltas(margin, candidate, order, position):
+        n = order.shape[0]
+        prefix = np.empty(n + 1, dtype=np.float64)
+        prefix[0] = 0.0
+        running = 0.0
+        for i in range(n):
+            running += margin[candidate, order[i]]
+            prefix[i + 1] = running
+        deltas = np.empty(n, dtype=np.float64)
+        anchor = prefix[position]
+        for target in range(position + 1):
+            deltas[target] = anchor - prefix[target]
+        anchor = prefix[position + 1]
+        for target in range(position + 1, n):
+            deltas[target] = anchor - prefix[target + 1]
+        return deltas
+
+    @_njit
+    def _parity_after_swap(favored, denominators, group_u, group_v, gap):
+        n_groups = favored.shape[0]
+        first_count = favored[0]
+        if group_u == 0:
+            first_count -= gap
+        elif group_v == 0:
+            first_count += gap
+        highest = first_count / denominators[0]
+        lowest = highest
+        for group in range(1, n_groups):
+            count = favored[group]
+            if group == group_u:
+                count -= gap
+            elif group == group_v:
+                count += gap
+            score = count / denominators[group]
+            if score > highest:
+                highest = score
+            elif score < lowest:
+                lowest = score
+        return highest - lowest
+
+    @_njit
+    def _parity_after_deltas(favored, deltas, denominators):
+        n_groups = favored.shape[0]
+        highest = (favored[0] + deltas[0]) / denominators[0]
+        lowest = highest
+        for group in range(1, n_groups):
+            score = (favored[group] + deltas[group]) / denominators[group]
+            if score > highest:
+                highest = score
+            elif score < lowest:
+                lowest = score
+        return highest - lowest
+
+    @_njit
+    def _move_histogram(membership, window, candidate, falling, n_groups):
+        counts = np.zeros(n_groups, dtype=np.int64)
+        for i in range(window.shape[0]):
+            counts[membership[window[i]]] += 1
+        group = membership[candidate]
+        mixed = window.shape[0] - counts[group]
+        counts[group] = -mixed
+        if not falling:
+            for g in range(n_groups):
+                counts[g] = -counts[g]
+        return counts
+
+    @_njit
+    def _favored_mixed_pairs_by_group(order, membership, n_groups):
+        n = order.shape[0]
+        counts = np.zeros(n_groups, dtype=np.int64)
+        remaining = np.zeros(n_groups, dtype=np.int64)
+        for i in range(n):
+            remaining[membership[order[i]]] += 1
+        for position in range(n):
+            group = membership[order[position]]
+            remaining[group] -= 1
+            counts[group] += (n - position - 1) - remaining[group]
+        return counts
+
+    @_njit
+    def _precedence_accumulate(matrix, positions, weights):
+        n = matrix.shape[0]
+        for r in range(positions.shape[0]):
+            weight = weights[r]
+            for a in range(n):
+                position_a = positions[r, a]
+                for b in range(n):
+                    if positions[r, b] < position_a:
+                        matrix[a, b] += weight
+
+
+class NumbaKernelBackend(KernelBackend):
+    """JIT-compiled kernels; registered only when :mod:`numba` imports."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        if not AVAILABLE:
+            raise KernelError(
+                f"the numba kernel backend is unavailable: {UNAVAILABLE_REASON}"
+            )
+        self._warmed = False
+
+    def detail(self) -> str:  # pragma: no cover - needs numba
+        return f"numba {numba.__version__} njit(nogil) kernels, lazy-compiled"
+
+    def compile_status(self) -> dict[str, Any]:  # pragma: no cover - needs numba
+        status = super().compile_status()
+        status["warmed"] = self._warmed
+        return status
+
+    def warmup(self) -> None:  # pragma: no cover - needs numba
+        """Compile every kernel on tiny inputs (one-time, idempotent)."""
+        if self._warmed:
+            return
+        order = np.array([1, 0], dtype=np.int64)
+        margin = np.array([[0.0, 1.0], [-1.0, 0.0]], dtype=np.float64)
+        mask = _build_sweep_mask(order, margin)
+        _sweep_adjacent(order.copy(), margin, mask.copy(), True)
+        _move_deltas(margin, 0, order, 0)
+        ones = np.ones(2, dtype=np.int64)
+        _parity_after_swap(ones, ones, 0, 1, 1)
+        _parity_after_deltas(ones, np.zeros(2, dtype=np.int64), ones)
+        membership = np.array([0, 1], dtype=np.int64)
+        _move_histogram(membership, order, 0, True, 2)
+        _favored_mixed_pairs_by_group(order, membership, 2)
+        _precedence_accumulate(
+            np.zeros((2, 2), dtype=np.float64),
+            np.array([[0, 1]], dtype=np.int64),
+            np.ones(1, dtype=np.float64),
+        )
+        self._warmed = True
+
+    # ------------------------------------------------------------------
+    # Representation hooks: numba kernels index int64 arrays directly.
+    # ------------------------------------------------------------------
+
+    def group_vector(self, values: Sequence[int]) -> np.ndarray:  # pragma: no cover
+        return np.asarray(values, dtype=np.int64)
+
+    def membership_vector(self, membership: np.ndarray) -> np.ndarray:  # pragma: no cover
+        return np.ascontiguousarray(membership, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Kernels (thin wrappers normalising argument representations)
+    # ------------------------------------------------------------------
+
+    def build_sweep_mask(self, order, margin):  # pragma: no cover - needs numba
+        return _build_sweep_mask(order, margin)
+
+    def sweep_adjacent(self, order, margin, mask, track_objective):  # pragma: no cover
+        swapped, improvement = _sweep_adjacent(order, margin, mask, track_objective)
+        return bool(swapped), float(improvement)
+
+    def move_deltas(self, margin, candidate, order, position):  # pragma: no cover
+        return _move_deltas(margin, candidate, order, position)
+
+    def parity_after_swap(
+        self, favored, denominators, group_u, group_v, gap
+    ):  # pragma: no cover - needs numba
+        return float(_parity_after_swap(favored, denominators, group_u, group_v, gap))
+
+    def parity_after_deltas(
+        self, favored, deltas, denominators
+    ):  # pragma: no cover - needs numba
+        return float(
+            _parity_after_deltas(favored, np.asarray(deltas, dtype=np.int64), denominators)
+        )
+
+    def move_histogram(
+        self, membership, window, candidate, falling, n_groups
+    ):  # pragma: no cover - needs numba
+        return _move_histogram(
+            membership,
+            np.asarray(window, dtype=np.int64),
+            candidate,
+            falling,
+            n_groups,
+        )
+
+    def favored_mixed_pairs_by_group(
+        self, order, membership, n_groups
+    ):  # pragma: no cover - needs numba
+        return _favored_mixed_pairs_by_group(
+            order, np.ascontiguousarray(membership, dtype=np.int64), n_groups
+        )
+
+    def precedence_accumulate(self, matrix, positions, weights):  # pragma: no cover
+        _precedence_accumulate(matrix, positions, weights)

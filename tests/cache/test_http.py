@@ -125,6 +125,19 @@ class TestEndpoints:
         assert payload["server"]["requests"] == 2  # responses completed before /stats
         assert payload["server"]["endpoints"] == {"/aggregate": 2, "/stats": 1}
         assert "fair-borda-insertion" in payload["methods"]
+        backends = payload["kernel_backend"]
+        assert backends["active"]["name"] in backends["available"]
+        assert isinstance(backends["active"]["compiled"], bool)
+        assert backends["env_var"] == "MANI_RANK_BACKEND"
+
+    def test_healthz_reports_kernel_backend(self):
+        async def scenario(host, port):
+            return await http_request(host, port, "GET", "/healthz")
+
+        (status, payload), _ = with_server(scenario)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert set(payload["kernel_backend"]) == {"name", "compiled", "detail"}
 
 
 class TestErrors:

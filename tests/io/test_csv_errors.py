@@ -1,0 +1,102 @@
+"""Positioned error reporting for malformed candidate/ranking CSVs.
+
+Unknown candidate names, duplicate names, and ragged rows must surface as
+:class:`~repro.exceptions.ValidationError` carrying ``path:row`` (and, where
+it applies, the 1-based column) — the same per-line style as
+``repro.streaming.replay`` — never as a bare ``KeyError``/``CandidateError``
+with no location.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import CandidateTable
+from repro.exceptions import ValidationError
+from repro.io.csv_io import read_candidate_table, read_ranking_set
+
+
+@pytest.fixture
+def table() -> CandidateTable:
+    return CandidateTable(
+        {"Gender": ["W", "M", "W"]}, names=["alice", "bob", "carol"]
+    )
+
+
+def _write(tmp_path, name: str, text: str):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestCandidateTableErrors:
+    def test_duplicate_name_reports_both_rows(self, tmp_path):
+        path = _write(
+            tmp_path, "dup.csv", "name,Gender\nalice,W\nbob,M\nalice,W\n"
+        )
+        with pytest.raises(ValidationError, match=rf"{path}:4: duplicate"):
+            read_candidate_table(path)
+        with pytest.raises(ValidationError, match="first defined at row 2"):
+            read_candidate_table(path)
+
+    def test_short_row_reports_position_and_counts(self, tmp_path):
+        path = _write(tmp_path, "short.csv", "name,Gender,Race\nalice,W\n")
+        with pytest.raises(
+            ValidationError, match=rf"{path}:2: expected 3 columns, got 2"
+        ):
+            read_candidate_table(path)
+
+    def test_long_row_reports_position_and_counts(self, tmp_path):
+        path = _write(tmp_path, "long.csv", "name,Gender\nalice,W,extra,x\n")
+        with pytest.raises(
+            ValidationError, match=rf"{path}:2: expected 2 columns, got 4"
+        ):
+            read_candidate_table(path)
+
+    def test_valid_file_round_trips(self, tmp_path):
+        path = _write(tmp_path, "ok.csv", "name,Gender\nalice,W\nbob,M\n")
+        table = read_candidate_table(path)
+        assert table.names == ("alice", "bob")
+
+
+class TestRankingSetErrors:
+    def test_unknown_name_reports_row_and_column(self, tmp_path, table):
+        path = _write(
+            tmp_path,
+            "rk.csv",
+            "label,1,2,3\nr0,alice,bob,carol\nr1,alice,dave,carol\n",
+        )
+        with pytest.raises(
+            ValidationError, match=rf"{path}:3: column 3: unknown candidate"
+        ):
+            read_ranking_set(path, table)
+
+    def test_duplicate_name_reports_both_columns(self, tmp_path, table):
+        path = _write(tmp_path, "rk.csv", "label,1,2,3\nr0,alice,bob,alice\n")
+        with pytest.raises(
+            ValidationError,
+            match=rf"{path}:2: column 4: .*already ranked at column 2",
+        ):
+            read_ranking_set(path, table)
+
+    def test_ragged_row_reports_position(self, tmp_path, table):
+        path = _write(tmp_path, "rk.csv", "label,1,2,3\nr0,alice,bob\n")
+        with pytest.raises(
+            ValidationError, match=rf"{path}:2: expected 3 candidates"
+        ):
+            read_ranking_set(path, table)
+
+    def test_error_is_not_a_bare_key_error(self, tmp_path, table):
+        path = _write(tmp_path, "rk.csv", "label,1,2,3\nr0,alice,dave,carol\n")
+        try:
+            read_ranking_set(path, table)
+        except ValidationError:
+            pass
+        else:  # pragma: no cover - the read must raise
+            pytest.fail("malformed CSV was accepted")
+
+    def test_valid_file_round_trips(self, tmp_path, table):
+        path = _write(tmp_path, "rk.csv", "label,1,2,3\nr0,carol,alice,bob\n")
+        rankings = read_ranking_set(path, table)
+        assert rankings[0].to_list() == [2, 0, 1]
+        assert rankings.labels == ("r0",)

@@ -1,0 +1,38 @@
+"""Shared parametrization for the cross-backend kernel suites.
+
+``backend_params()`` yields one param per *known* backend: ``numpy`` always
+runs; the ``numba`` leg is skipped — with the registry's reason visible in
+the skip message — when numba is not importable, so a `-rs` run shows
+exactly why the JIT leg did not execute instead of silently shrinking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.numba_backend import AVAILABLE as NUMBA_AVAILABLE
+from repro.kernels.numba_backend import UNAVAILABLE_REASON
+
+
+def backend_params() -> list:
+    """One pytest param per known backend, numba marked skip when absent."""
+    params = [pytest.param("numpy", id="numpy")]
+    if NUMBA_AVAILABLE:
+        params.append(pytest.param("numba", id="numba"))
+    else:
+        params.append(
+            pytest.param(
+                "numba",
+                id="numba",
+                marks=pytest.mark.skip(
+                    reason=f"numba backend unavailable: {UNAVAILABLE_REASON}"
+                ),
+            )
+        )
+    return params
+
+
+@pytest.fixture(params=backend_params())
+def backend_name(request) -> str:
+    """Every known backend name; the numba leg skips visibly when absent."""
+    return request.param

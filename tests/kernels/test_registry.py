@@ -1,0 +1,137 @@
+"""Tests for the compute-kernel backend registry (:mod:`repro.kernels`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+from repro.exceptions import KernelError
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    KernelBackend,
+    NumpyKernelBackend,
+    active_backend,
+    active_backend_name,
+    available_backends,
+    create_backend,
+    describe_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    unavailable_backends,
+    use_backend,
+)
+from repro.kernels.numba_backend import AVAILABLE as NUMBA_AVAILABLE
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_backend():
+    """Every test leaves the process-wide default untouched."""
+    yield
+    set_default_backend(None)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_numba_is_either_available_or_explained(self):
+        if NUMBA_AVAILABLE:
+            assert "numba" in available_backends()
+        else:
+            assert "numba" not in available_backends()
+            reason = unavailable_backends()["numba"]
+            assert "numba" in reason
+
+    def test_create_backend_returns_fresh_instances(self):
+        assert create_backend("numpy") is not create_backend("numpy")
+
+    def test_get_backend_shares_one_instance(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_name_raises_kernel_error_listing_available(self):
+        with pytest.raises(KernelError, match="numpy"):
+            create_backend("no-such-backend")
+
+    def test_unavailable_name_error_includes_reason(self):
+        if NUMBA_AVAILABLE:
+            pytest.skip("numba is installed: no unavailable backend to probe")
+        with pytest.raises(KernelError, match="unavailable"):
+            create_backend("numba")
+
+    def test_register_backend_replaces_and_drops_cached_instance(self):
+        original = get_backend("numpy")
+
+        @register_backend
+        class ReplacementBackend(NumpyKernelBackend):
+            name = "numpy"
+
+        try:
+            replaced = get_backend("numpy")
+            assert isinstance(replaced, ReplacementBackend)
+            assert replaced is not original
+        finally:
+            register_backend(NumpyKernelBackend)
+        assert isinstance(get_backend("numpy"), NumpyKernelBackend)
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert active_backend_name() == "numpy"
+        assert isinstance(active_backend(), NumpyKernelBackend)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert active_backend_name() == "numpy"
+
+    def test_override_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "no-such-backend")
+        set_default_backend("numpy")
+        assert active_backend_name() == "numpy"
+
+    def test_set_default_backend_validates_eagerly(self):
+        with pytest.raises(KernelError):
+            set_default_backend("no-such-backend")
+
+    def test_use_backend_restores_previous_default(self):
+        before = active_backend_name()
+        with use_backend("numpy"):
+            assert active_backend_name() == "numpy"
+        assert active_backend_name() == before
+
+    def test_resolve_backend_accepts_none_name_and_instance(self):
+        instance = NumpyKernelBackend()
+        assert resolve_backend(None).name == active_backend_name()
+        assert resolve_backend("numpy").name == "numpy"
+        assert resolve_backend(instance) is instance
+
+    def test_resolve_backend_rejects_other_types(self):
+        with pytest.raises(KernelError):
+            resolve_backend(object())
+
+
+class TestIntrospection:
+    def test_describe_backends_shape(self):
+        description = describe_backends()
+        assert description["env_var"] == BACKEND_ENV_VAR
+        assert "numpy" in description["available"]
+        active = description["active"]
+        assert set(active) == {"name", "compiled", "detail"}
+        assert isinstance(active["compiled"], bool)
+
+    def test_numpy_compile_status(self):
+        status = get_backend("numpy").compile_status()
+        assert status["name"] == "numpy"
+        assert status["compiled"] is False
+
+    def test_backend_is_kernel_backend(self):
+        assert isinstance(get_backend("numpy"), KernelBackend)
+
+    def test_warmup_is_safe(self):
+        get_backend("numpy").warmup()
+
+    def test_module_all_resolves(self):
+        for name in kernels.__all__:
+            assert hasattr(kernels, name), f"{name} exported but missing"
